@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 5: overlay construction plus degree-histogram
+//! extraction under the uniform and heavily skewed distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use voronet_core::experiments::build_overlay;
+use voronet_core::VoroNetConfig;
+use voronet_workloads::Distribution;
+
+fn fig5_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_degree_distribution");
+    group.sample_size(10);
+    for (label, dist) in [
+        ("uniform", Distribution::Uniform),
+        ("sparse_alpha5", Distribution::PowerLaw { alpha: 5.0 }),
+    ] {
+        for n in [1_000usize, 4_000] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let cfg = VoroNetConfig::new(n).with_seed(2006);
+                    let (net, _) = build_overlay(dist, n, cfg);
+                    let hist = net.degree_histogram();
+                    black_box((hist.mean(), hist.mode()))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_degree);
+criterion_main!(benches);

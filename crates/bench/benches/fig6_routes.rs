@@ -1,0 +1,34 @@
+//! Criterion bench for Figures 6/7: greedy-route measurement cost on
+//! overlays of increasing size and varying skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use voronet_core::experiments::{build_overlay, mean_route_length};
+use voronet_core::VoroNetConfig;
+use voronet_workloads::Distribution;
+
+fn fig6_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_route_length");
+    group.sample_size(10);
+    for (label, dist) in [
+        ("uniform", Distribution::Uniform),
+        ("sparse_alpha1", Distribution::PowerLaw { alpha: 1.0 }),
+        ("sparse_alpha5", Distribution::PowerLaw { alpha: 5.0 }),
+    ] {
+        for n in [2_000usize, 6_000] {
+            let cfg = VoroNetConfig::new(n).with_seed(2006);
+            let (mut net, ids) = build_overlay(dist, n, cfg);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| black_box(mean_route_length(&mut net, &ids, 500, 42)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_routes);
+criterion_main!(benches);

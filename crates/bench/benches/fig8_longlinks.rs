@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 8: the effect of the number of long-range
+//! links on greedy routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use voronet_core::experiments::{build_overlay, mean_route_length};
+use voronet_core::VoroNetConfig;
+use voronet_workloads::Distribution;
+
+fn fig8_long_links(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_long_links");
+    group.sample_size(10);
+    let n = 3_000usize;
+    for k in [1usize, 2, 4, 6, 10] {
+        let cfg = VoroNetConfig::new(n).with_long_links(k).with_seed(2006);
+        let (mut net, ids) = build_overlay(Distribution::Uniform, n, cfg);
+        group.bench_with_input(BenchmarkId::new("uniform", k), &k, |b, _| {
+            b.iter(|| black_box(mean_route_length(&mut net, &ids, 500, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_long_links);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the geometric substrate: predicate cost,
+//! incremental insertion, removal and point location.  These back the
+//! `ablation_predicates` entry of DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use voronet_geom::{incircle, orient2d, Point2, Triangulation};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.random::<f64>(), rng.random::<f64>()))
+        .collect()
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicates");
+    let pts = random_points(4_000, 1);
+    group.bench_function("orient2d_fast_path", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 3) % (pts.len() - 3);
+            black_box(orient2d(pts[i], pts[i + 1], pts[i + 2]))
+        });
+    });
+    group.bench_function("orient2d_degenerate_exact_path", |b| {
+        // Collinear points force the exact expansion fallback every time.
+        let a = Point2::new(0.1, 0.1);
+        let bb = Point2::new(0.5, 0.5);
+        let cc = Point2::new(0.9, 0.9);
+        b.iter(|| black_box(orient2d(a, bb, cc)));
+    });
+    group.bench_function("incircle_fast_path", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 4) % (pts.len() - 4);
+            black_box(incircle(pts[i], pts[i + 1], pts[i + 2], pts[i + 3]))
+        });
+    });
+    group.bench_function("incircle_cocircular_exact_path", |b| {
+        let a = Point2::new(0.0, 0.0);
+        let bb = Point2::new(1.0, 0.0);
+        let cc = Point2::new(1.0, 1.0);
+        let d = Point2::new(0.0, 1.0);
+        b.iter(|| black_box(incircle(a, bb, cc, d)));
+    });
+    group.finish();
+}
+
+fn bench_triangulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangulation");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let pts = random_points(n, 2);
+        group.bench_with_input(BenchmarkId::new("incremental_insert", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tri = Triangulation::unit_square();
+                for &p in &pts {
+                    let _ = tri.insert(p);
+                }
+                black_box(tri.len())
+            });
+        });
+    }
+    // Point location / nearest-vertex on a fixed triangulation.
+    let pts = random_points(10_000, 3);
+    let mut tri = Triangulation::unit_square();
+    for &p in &pts {
+        let _ = tri.insert(p);
+    }
+    let queries = random_points(1_000, 4);
+    group.bench_function("nearest_vertex_10k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(tri.nearest_vertex(queries[i]))
+        });
+    });
+    group.bench_function("locate_10k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(tri.locate(queries[i]))
+        });
+    });
+    // Insert/remove churn at steady state.
+    group.bench_function("insert_remove_cycle_10k", |b| {
+        let mut extra = random_points(4_096, 5).into_iter().cycle();
+        b.iter(|| {
+            let p = extra.next().expect("cycle iterator never ends");
+            if let Ok(v) = tri.insert(p) {
+                tri.remove(v).expect("just-inserted vertex is removable");
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predicates, bench_triangulation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for overlay maintenance: join and leave cost at steady
+//! state, and the close-neighbour ablation (routing with and without the
+//! `cn(o)` sets under extreme clustering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use voronet_core::experiments::build_overlay;
+use voronet_core::{VoroNet, VoroNetConfig};
+use voronet_workloads::{Distribution, PointGenerator, QueryGenerator};
+
+fn bench_join_leave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(20);
+    for n in [2_000usize, 8_000] {
+        let cfg = VoroNetConfig::new(n).with_seed(2006);
+        let (mut net, _) = build_overlay(Distribution::Uniform, n, cfg);
+        let mut gen = PointGenerator::new(Distribution::Uniform, 99);
+        group.bench_with_input(BenchmarkId::new("join_then_leave", n), &n, |b, _| {
+            b.iter(|| {
+                let p = gen.next_point();
+                if let Ok(r) = net.insert(p) {
+                    black_box(r.messages);
+                    net.remove(r.id).expect("just-joined object is removable");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustered_routing(c: &mut Criterion) {
+    // Ablation `ablation_close_neighbours`: routing under extreme clustering,
+    // where the close-neighbour sets are what keeps hops bounded.
+    let mut group = c.benchmark_group("clustered_routing");
+    group.sample_size(10);
+    let n = 3_000usize;
+    let dist = Distribution::Clusters {
+        clusters: 3,
+        spread: 0.01,
+    };
+    let cfg = VoroNetConfig::new(n).with_seed(11);
+    let (mut net, ids) = build_overlay(dist, n, cfg);
+    let mut qg = QueryGenerator::new(3);
+    let pairs: Vec<_> = qg
+        .object_pairs(ids.len(), 300)
+        .into_iter()
+        .map(|(a, b)| (ids[a], ids[b]))
+        .collect();
+    group.bench_function("greedy_routes_3_clusters", |b| {
+        b.iter(|| black_box(net.measure_routes(&pairs).mean()));
+    });
+    group.finish();
+    let _: &VoroNet = &net;
+}
+
+criterion_group!(benches, bench_join_leave, bench_clustered_routing);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Regenerates the data behind every figure of the VoroNet evaluation.
+//!
+//! ```text
+//! cargo run -p voronet-bench --release --bin figures -- all
+//! cargo run -p voronet-bench --release --bin figures -- fig6 --objects 300000 --pairs 100000
+//! cargo run -p voronet-bench --release --bin figures -- fig5 --paper
+//! ```
+//!
+//! Output: aligned tables on stdout and CSV files under `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+use voronet_bench::{
+    run_ablation_kleinberg, run_ablation_maintenance, run_fig5, run_fig6, run_fig7, run_fig8,
+    ExperimentScale,
+};
+use voronet_stats::{series_to_csv, series_to_table, Series};
+
+struct Options {
+    figures: Vec<String>,
+    scale: ExperimentScale,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let mut figures = Vec::new();
+    let mut scale = ExperimentScale::quick();
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "fig5" | "fig6" | "fig7" | "fig8" | "ablations" | "all" => figures.push(arg),
+            "--paper" => scale = ExperimentScale::paper(),
+            "--quick" => scale = ExperimentScale::quick(),
+            "--smoke" => scale = ExperimentScale::smoke(),
+            "--objects" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--objects requires an integer");
+                scale = scale.with_objects(n);
+            }
+            "--pairs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--pairs requires an integer");
+                scale = scale.with_pairs(n);
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out requires a path"));
+            }
+            "--seed" => {
+                scale.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: figures [fig5|fig6|fig7|fig8|ablations|all]* \
+                     [--paper|--quick|--smoke] [--objects N] [--pairs N] [--seed S] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+    Options {
+        figures,
+        scale,
+        out_dir,
+    }
+}
+
+fn wants(opts: &Options, name: &str) -> bool {
+    opts.figures.iter().any(|f| f == name || f == "all")
+}
+
+fn save(opts: &Options, name: &str, content: &str) {
+    let path = opts.out_dir.join(name);
+    if let Err(e) = fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  wrote {}", path.display());
+    }
+}
+
+fn print_series(title: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    print!("{}", series_to_table(series));
+}
+
+fn main() {
+    let opts = parse_args();
+    let _ = fs::create_dir_all(&opts.out_dir);
+    println!(
+        "VoroNet figure harness: {} objects, {} route pairs, seed {}",
+        opts.scale.objects, opts.scale.pairs, opts.scale.seed
+    );
+
+    if wants(&opts, "fig5") {
+        println!("\nrunning Figure 5 (Voronoi out-degree distribution)...");
+        let out = run_fig5(opts.scale);
+        for (label, hist) in &out.histograms {
+            println!("\n=== Figure 5: |vn(o)| distribution, {label} ===");
+            println!("{:>10} {:>12}", "out-degree", "objects");
+            for (deg, count) in hist.dense_rows() {
+                println!("{deg:>10} {count:>12}");
+            }
+            println!(
+                "mean {:.3}  mode {}  p99 {}",
+                hist.mean(),
+                hist.mode().unwrap_or(0),
+                hist.quantile(0.99).unwrap_or(0)
+            );
+            let csv: String = std::iter::once("degree,count\n".to_string())
+                .chain(
+                    hist.dense_rows()
+                        .into_iter()
+                        .map(|(d, c)| format!("{d},{c}\n")),
+                )
+                .collect();
+            save(&opts, &format!("fig5_{}.csv", label.replace([' ', '='], "_")), &csv);
+        }
+    }
+
+    let mut fig6_series: Option<Vec<Series>> = None;
+    if wants(&opts, "fig6") || wants(&opts, "fig7") {
+        println!("\nrunning Figure 6 (route length vs overlay size, 4 distributions)...");
+        let series = run_fig6(opts.scale);
+        print_series("Figure 6: mean route length vs overlay size", &series);
+        save(&opts, "fig6_route_length.csv", &series_to_csv(&series));
+        fig6_series = Some(series);
+    }
+
+    if wants(&opts, "fig7") {
+        let fig6 = fig6_series
+            .as_ref()
+            .expect("figure 7 is derived from figure 6");
+        println!("\nderiving Figure 7 (log H vs log log N)...");
+        let fig7 = run_fig7(fig6);
+        let transformed: Vec<Series> = fig7.iter().map(|(s, _)| s.clone()).collect();
+        print_series("Figure 7: log(hops) vs log(log(objects))", &transformed);
+        println!("\nfitted slopes (paper reports x ~= 2):");
+        for (s, fit) in &fig7 {
+            match fit {
+                Some(f) => println!(
+                    "  {:<22} slope {:.3}  r^2 {:.3}",
+                    s.label, f.slope, f.r_squared
+                ),
+                None => println!("  {:<22} not enough points to fit", s.label),
+            }
+        }
+        save(&opts, "fig7_loglog.csv", &series_to_csv(&transformed));
+    }
+
+    if wants(&opts, "fig8") {
+        println!("\nrunning Figure 8 (route length vs number of long links)...");
+        let series = run_fig8(opts.scale);
+        print_series("Figure 8: mean route length vs long links per object", &series);
+        save(&opts, "fig8_long_links.csv", &series_to_csv(&series));
+    }
+
+    if wants(&opts, "ablations") {
+        println!("\nrunning ablations (not in the paper; see DESIGN.md)...");
+        let k = run_ablation_kleinberg(opts.scale);
+        print_series("Ablation: VoroNet vs Kleinberg grid", &k);
+        save(&opts, "ablation_kleinberg.csv", &series_to_csv(&k));
+        let m = run_ablation_maintenance(opts.scale);
+        print_series("Ablation: per-operation maintenance messages", &m);
+        save(&opts, "ablation_maintenance.csv", &series_to_csv(&m));
+    }
+
+    println!("\ndone.");
+}

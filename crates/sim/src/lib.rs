@@ -1,0 +1,19 @@
+//! # voronet-sim
+//!
+//! Message-level simulation substrate for the VoroNet evaluation.
+//!
+//! The original paper evaluates the protocol "by simulation" with an
+//! unreleased ad-hoc simulator; every reported metric is a *logical* count
+//! (greedy-routing hops, per-operation message counts, view sizes).  This
+//! crate provides the equivalent substrate: a deterministic discrete-event
+//! scheduler ([`EventQueue`]), node identifiers, and the accounting
+//! structures ([`TrafficStats`], [`RouteStats`]) that the overlay layer
+//! fills in while executing the protocol.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+
+pub use event::{EventQueue, SimTime};
+pub use metrics::{MessageKind, NodeId, RouteStats, TrafficStats};

@@ -1,0 +1,224 @@
+//! Traffic and routing accounting.
+//!
+//! Every quantity reported by the paper's evaluation is a count collected
+//! here: logical hops per greedy route (Figures 6–8) and per-operation
+//! message counts (the O(1) maintenance-cost claims of Section 4.2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a simulated node (the physical host of an object).
+pub type NodeId = u64;
+
+/// Category of protocol message, used to break traffic down per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Greedy-routing forwarding step (`Spawn(Route, …)` in the paper).
+    RouteForward,
+    /// Neighbourhood update during `AddVoronoiRegion`.
+    VoronoiUpdate,
+    /// Close-neighbour set exchange (Lemma 1 discovery).
+    CloseNeighbourExchange,
+    /// Long-range link establishment / delegation.
+    LongLink,
+    /// Departure notification from `RemoveVoronoiRegion`.
+    Departure,
+    /// Application-level query answer.
+    QueryAnswer,
+    /// Anything else (extensions, tests).
+    Other,
+}
+
+/// Aggregated traffic counters for a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    per_kind: BTreeMap<MessageKind, u64>,
+    per_node_sent: BTreeMap<NodeId, u64>,
+    total: u64,
+}
+
+impl TrafficStats {
+    /// Creates empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of the given kind sent by `from`.
+    pub fn record(&mut self, from: NodeId, kind: MessageKind) {
+        *self.per_kind.entry(kind).or_insert(0) += 1;
+        *self.per_node_sent.entry(from).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of messages recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of messages of a given kind.
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.per_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Number of messages sent by a given node.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.per_node_sent.get(&node).copied().unwrap_or(0)
+    }
+
+    /// The most loaded sender and its message count, if any traffic exists.
+    pub fn max_sender(&self) -> Option<(NodeId, u64)> {
+        self.per_node_sent
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&n, &c)| (n, c))
+    }
+
+    /// Mean messages per sender (0 when no traffic).
+    pub fn mean_per_sender(&self) -> f64 {
+        if self.per_node_sent.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.per_node_sent.len() as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (&k, &c) in &other.per_kind {
+            *self.per_kind.entry(k).or_insert(0) += c;
+        }
+        for (&n, &c) in &other.per_node_sent {
+            *self.per_node_sent.entry(n).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.per_kind.clear();
+        self.per_node_sent.clear();
+        self.total = 0;
+    }
+}
+
+/// Accumulator of per-route hop counts (the paper's central routing metric).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RouteStats {
+    hops: Vec<u32>,
+}
+
+impl RouteStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the hop count of one completed route.
+    pub fn record(&mut self, hops: u32) {
+        self.hops.push(hops);
+    }
+
+    /// Number of routes recorded.
+    pub fn count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Mean hop count (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.hops.is_empty() {
+            0.0
+        } else {
+            self.hops.iter().map(|&h| h as f64).sum::<f64>() / self.hops.len() as f64
+        }
+    }
+
+    /// Maximum hop count (`None` when empty).
+    pub fn max(&self) -> Option<u32> {
+        self.hops.iter().copied().max()
+    }
+
+    /// The `q`-quantile of hop counts (`None` when empty).
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.hops.is_empty() {
+            return None;
+        }
+        let mut sorted = self.hops.clone();
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// All recorded hop counts (in recording order).
+    pub fn samples(&self) -> &[u32] {
+        &self.hops
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RouteStats) {
+        self.hops.extend_from_slice(&other.hops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_counters() {
+        let mut t = TrafficStats::new();
+        t.record(1, MessageKind::RouteForward);
+        t.record(1, MessageKind::RouteForward);
+        t.record(2, MessageKind::LongLink);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.count(MessageKind::RouteForward), 2);
+        assert_eq!(t.count(MessageKind::Departure), 0);
+        assert_eq!(t.sent_by(1), 2);
+        assert_eq!(t.sent_by(99), 0);
+        assert_eq!(t.max_sender(), Some((1, 2)));
+        assert!((t.mean_per_sender() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_merge_and_reset() {
+        let mut a = TrafficStats::new();
+        a.record(1, MessageKind::VoronoiUpdate);
+        let mut b = TrafficStats::new();
+        b.record(1, MessageKind::VoronoiUpdate);
+        b.record(3, MessageKind::Departure);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(MessageKind::VoronoiUpdate), 2);
+        assert_eq!(a.sent_by(1), 2);
+        a.reset();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.max_sender(), None);
+    }
+
+    #[test]
+    fn route_stats_quantiles() {
+        let mut r = RouteStats::new();
+        for h in 1..=100u32 {
+            r.record(h);
+        }
+        assert_eq!(r.count(), 100);
+        assert!((r.mean() - 50.5).abs() < 1e-12);
+        assert_eq!(r.max(), Some(100));
+        assert_eq!(r.quantile(0.0), Some(1));
+        assert_eq!(r.quantile(1.0), Some(100));
+        assert_eq!(r.quantile(0.5), Some(51));
+    }
+
+    #[test]
+    fn route_stats_empty_and_merge() {
+        let r = RouteStats::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.max(), None);
+        assert_eq!(r.quantile(0.5), None);
+        let mut a = RouteStats::new();
+        a.record(3);
+        let mut b = RouteStats::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.samples(), &[3, 5]);
+    }
+}

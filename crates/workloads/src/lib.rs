@@ -1,0 +1,18 @@
+//! # voronet-workloads
+//!
+//! Workload generators for the VoroNet experiments: the object-placement
+//! distributions of the paper's evaluation (uniform and power-law with
+//! α ∈ {1, 2, 5}), stress distributions for robustness tests (clusters,
+//! jittered grids, rings of co-circular points) and query generators
+//! (random object pairs, range and radius queries).
+//!
+//! All generators are seeded and deterministic so every figure of
+//! EXPERIMENTS.md can be regenerated bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod queries;
+
+pub use distribution::{Distribution, PointGenerator, ZIPF_VALUES};
+pub use queries::{QueryGenerator, RadiusQuery, RangeQuery};

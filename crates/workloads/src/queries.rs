@@ -1,0 +1,166 @@
+//! Query workload generators.
+//!
+//! The routing experiments of the paper measure greedy route lengths over
+//! "100 000 random couples of different objects"; the range-query extension
+//! additionally needs random segments and disks of the attribute space.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use voronet_geom::{Point2, Rect};
+
+/// A generator of routing / range / radius query workloads, deterministic
+/// for a given seed.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    rng: StdRng,
+    domain: Rect,
+}
+
+/// A rectangular range query (both attributes constrained).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// Queried axis-aligned rectangle.
+    pub rect: Rect,
+}
+
+/// A radius (disk) query around a centre point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadiusQuery {
+    /// Centre of the queried disk.
+    pub center: Point2,
+    /// Radius of the queried disk.
+    pub radius: f64,
+}
+
+impl QueryGenerator {
+    /// Creates a generator over the unit square.
+    pub fn new(seed: u64) -> Self {
+        Self::with_domain(seed, Rect::UNIT)
+    }
+
+    /// Creates a generator over an arbitrary domain.
+    pub fn with_domain(seed: u64, domain: Rect) -> Self {
+        QueryGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            domain,
+        }
+    }
+
+    /// A uniformly random point of the domain.
+    pub fn point(&mut self) -> Point2 {
+        Point2::new(
+            self.domain.min.x + self.rng.random::<f64>() * self.domain.width(),
+            self.domain.min.y + self.rng.random::<f64>() * self.domain.height(),
+        )
+    }
+
+    /// A random pair of *distinct* indices below `n` (a route source and
+    /// destination object, as in Figure 6).
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn object_pair(&mut self, n: usize) -> (usize, usize) {
+        assert!(n >= 2, "need at least two objects to form a pair");
+        let a = self.rng.random_range(0..n);
+        let mut b = self.rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (a, b)
+    }
+
+    /// `count` random distinct pairs.
+    pub fn object_pairs(&mut self, n: usize, count: usize) -> Vec<(usize, usize)> {
+        (0..count).map(|_| self.object_pair(n)).collect()
+    }
+
+    /// A random index below `n`.
+    pub fn object_index(&mut self, n: usize) -> usize {
+        self.rng.random_range(0..n)
+    }
+
+    /// A random axis-aligned range query whose sides are at most
+    /// `max_extent` of the domain size.
+    pub fn range_query(&mut self, max_extent: f64) -> RangeQuery {
+        let w = self.rng.random::<f64>() * max_extent * self.domain.width();
+        let h = self.rng.random::<f64>() * max_extent * self.domain.height();
+        let x = self.domain.min.x + self.rng.random::<f64>() * (self.domain.width() - w);
+        let y = self.domain.min.y + self.rng.random::<f64>() * (self.domain.height() - h);
+        RangeQuery {
+            rect: Rect::new(Point2::new(x, y), Point2::new(x + w, y + h)),
+        }
+    }
+
+    /// A random disk query of radius at most `max_radius`.
+    pub fn radius_query(&mut self, max_radius: f64) -> RadiusQuery {
+        RadiusQuery {
+            center: self.point(),
+            radius: self.rng.random::<f64>() * max_radius,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_distinct_and_in_range() {
+        let mut g = QueryGenerator::new(1);
+        for _ in 0..10_000 {
+            let (a, b) = g.object_pair(50);
+            assert_ne!(a, b);
+            assert!(a < 50 && b < 50);
+        }
+        // Smallest possible population.
+        for _ in 0..100 {
+            let (a, b) = g.object_pair(2);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn pair_needs_two_objects() {
+        QueryGenerator::new(1).object_pair(1);
+    }
+
+    #[test]
+    fn pair_distribution_is_roughly_uniform() {
+        let mut g = QueryGenerator::new(2);
+        let n = 10;
+        let mut counts = vec![0usize; n];
+        for _ in 0..50_000 {
+            let (a, b) = g.object_pair(n);
+            counts[a] += 1;
+            counts[b] += 1;
+        }
+        let expected = 2.0 * 50_000.0 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < 0.1 * expected);
+        }
+    }
+
+    #[test]
+    fn points_and_queries_stay_in_domain() {
+        let mut g = QueryGenerator::new(3);
+        for _ in 0..1000 {
+            assert!(Rect::UNIT.contains(g.point()));
+            let rq = g.range_query(0.3);
+            assert!(Rect::UNIT.contains(rq.rect.min));
+            assert!(Rect::UNIT.contains(rq.rect.max));
+            assert!(rq.rect.width() <= 0.3 + 1e-12);
+            let dq = g.radius_query(0.2);
+            assert!(Rect::UNIT.contains(dq.center));
+            assert!(dq.radius <= 0.2);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = QueryGenerator::new(9);
+        let mut b = QueryGenerator::new(9);
+        assert_eq!(a.object_pairs(100, 50), b.object_pairs(100, 50));
+    }
+}

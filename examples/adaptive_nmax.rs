@@ -1,0 +1,95 @@
+//! Dynamic re-provisioning of `N_max` — the paper's perspective on lifting
+//! the static capacity limit.
+//!
+//! The overlay below is deliberately under-provisioned (capacity 500) and
+//! then filled with 3 000 objects.  A background adaptation policy detects
+//! the overflow, multiplies `N_max`, shrinks `d_min`, prunes the
+//! close-neighbour sets and refreshes the long-range links of the objects
+//! whose neighbourhood had become too dense.
+//!
+//! ```text
+//! cargo run --release --example adaptive_nmax
+//! ```
+
+use voronet::prelude::*;
+use voronet_core::dynamic::{adapt_nmax, needs_adaptation, AdaptationPolicy, RefreshStrategy};
+use voronet_core::DminRule;
+use voronet_core::VoroNetConfig;
+
+fn mean_close(net: &VoroNet) -> f64 {
+    let ids: Vec<ObjectId> = net.ids().collect();
+    if ids.is_empty() {
+        return 0.0;
+    }
+    ids.iter()
+        .map(|&id| net.close_neighbours(id).unwrap().len() as f64)
+        .sum::<f64>()
+        / ids.len() as f64
+}
+
+fn main() {
+    // Under-provisioned overlay with the "analysis" d_min so the pressure on
+    // close neighbourhoods is visible.
+    let config = VoroNetConfig::new(500)
+        .with_seed(31)
+        .with_dmin_rule(DminRule::Analysis);
+    let mut net = VoroNet::new(config);
+    let mut gen = PointGenerator::new(Distribution::PowerLaw { alpha: 1.0 }, 8);
+    let mut inserted = 0usize;
+    while inserted < 3_000 {
+        if net.insert(gen.next_point()).is_ok() {
+            inserted += 1;
+        }
+    }
+    println!(
+        "before adaptation: {} objects in an overlay provisioned for {}, d_min = {:.5}, mean |cn| = {:.2}",
+        net.len(),
+        net.config().nmax,
+        net.dmin(),
+        mean_close(&net)
+    );
+
+    let policy = AdaptationPolicy {
+        trigger_fraction: 1.0,
+        growth_factor: 8,
+        strategy: RefreshStrategy::DenseOnly {
+            max_close_neighbours: 4,
+        },
+    };
+    assert!(needs_adaptation(&net, &policy));
+    let report = adapt_nmax(&mut net, &policy)
+        .expect("live objects")
+        .expect("policy triggered");
+    println!(
+        "adaptation: N_max {} -> {}, {} close pairs pruned, {} objects refreshed their long links ({} routing hops)",
+        report.old_nmax,
+        report.new_nmax,
+        report.pruned_pairs,
+        report.refreshed_objects,
+        report.refresh_hops
+    );
+    println!(
+        "after adaptation: d_min = {:.5}, mean |cn| = {:.2}",
+        net.dmin(),
+        mean_close(&net)
+    );
+
+    net.check_invariants(false).expect("invariants hold after adaptation");
+
+    // Routing is still exact.
+    let ids: Vec<ObjectId> = net.ids().collect();
+    let mut qg = QueryGenerator::new(4);
+    let mut hops = 0u64;
+    let trials = 500;
+    for _ in 0..trials {
+        let target = qg.point();
+        let from = ids[qg.object_index(ids.len())];
+        let report = net.route_to_point(from, target).unwrap();
+        assert_eq!(Some(report.owner), net.owner_of(target));
+        hops += report.hops as u64;
+    }
+    println!(
+        "routing after adaptation: mean {:.2} hops over {trials} random point queries",
+        hops as f64 / trials as f64
+    );
+}

@@ -1,0 +1,95 @@
+//! Churn: objects continuously joining and leaving the overlay.
+//!
+//! Demonstrates the decentralised maintenance of Section 3.3/4.2: joins and
+//! departures touch only a constant-size neighbourhood (plus one
+//! poly-logarithmic route), long-range links are repaired by delegation, and
+//! the overlay invariants hold throughout.
+//!
+//! ```text
+//! cargo run --release --example churn
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use voronet::prelude::*;
+
+const STEPS: usize = 4_000;
+const TARGET_POPULATION: usize = 1_500;
+
+fn main() {
+    let config = VoroNetConfig::new(2 * TARGET_POPULATION)
+        .with_long_links(2)
+        .with_seed(11);
+    let mut net = VoroNet::new(config);
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut live: Vec<ObjectId> = Vec::new();
+
+    let mut join_messages = 0u64;
+    let mut leave_messages = 0u64;
+    let mut joins = 0u64;
+    let mut leaves = 0u64;
+    let mut delegated = 0u64;
+
+    for step in 0..STEPS {
+        // Keep the population around the target with 60/40 join/leave mix.
+        let join = live.len() < 10
+            || (live.len() < TARGET_POPULATION && rng.random::<f64>() < 0.6)
+            || rng.random::<f64>() < 0.5;
+        if join {
+            let p = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+            if let Ok(report) = net.insert(p) {
+                join_messages += report.messages;
+                joins += 1;
+                live.push(report.id);
+            }
+        } else if !live.is_empty() {
+            let idx = rng.random_range(0..live.len());
+            let id = live.swap_remove(idx);
+            let report = net.remove(id).unwrap();
+            leave_messages += report.messages;
+            delegated += report.delegated_links as u64;
+            leaves += 1;
+        }
+        if step % 1000 == 999 {
+            net.check_invariants(false).expect("overlay invariants must survive churn");
+            println!(
+                "step {:>5}: {:>5} objects live, invariants OK",
+                step + 1,
+                net.len()
+            );
+        }
+    }
+
+    println!("\nchurn summary over {STEPS} steps:");
+    println!("  joins: {joins} (avg {:.1} messages each)", join_messages as f64 / joins as f64);
+    println!(
+        "  leaves: {leaves} (avg {:.1} messages each, {:.2} long links delegated each)",
+        leave_messages as f64 / leaves as f64,
+        delegated as f64 / leaves as f64
+    );
+
+    let degrees = net.degree_histogram();
+    println!(
+        "  final population {}: mean degree {:.2}, mode {}",
+        net.len(),
+        degrees.mean(),
+        degrees.mode().unwrap_or(0)
+    );
+
+    // Routing still works after heavy churn.
+    let ids: Vec<ObjectId> = net.ids().collect();
+    let mut total_hops = 0u64;
+    let samples = 500;
+    for _ in 0..samples {
+        let a = ids[rng.random_range(0..ids.len())];
+        let b = ids[rng.random_range(0..ids.len())];
+        if a == b {
+            continue;
+        }
+        total_hops += net.route_between(a, b).unwrap().hops as u64;
+    }
+    println!(
+        "  mean route length after churn: {:.2} hops",
+        total_hops as f64 / samples as f64
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: build a small VoroNet overlay, publish objects, route a few
+//! queries and inspect one object's view.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use voronet::prelude::*;
+
+fn main() {
+    // An overlay provisioned for up to 10 000 objects, one long link each.
+    let config = VoroNetConfig::new(10_000).with_seed(42);
+    let mut net = VoroNet::new(config);
+
+    // Publish 2 000 objects drawn uniformly from the attribute space.  In a
+    // real deployment each object would be published by the physical node
+    // hosting it; the coordinates are its two attribute values.
+    let mut generator = PointGenerator::new(Distribution::Uniform, 7);
+    let mut ids = Vec::new();
+    while ids.len() < 2_000 {
+        if let Ok(report) = net.insert(generator.next_point()) {
+            ids.push(report.id);
+        }
+    }
+    println!("published {} objects (d_min = {:.5})", net.len(), net.dmin());
+
+    // Greedy routing between two random objects.
+    let route = net.route_between(ids[17], ids[1_900]).unwrap();
+    println!(
+        "route {} -> {}: {} hops through {} objects",
+        ids[17],
+        ids[1_900],
+        route.hops,
+        route.path.len()
+    );
+
+    // Point query: which object is responsible for an arbitrary point of the
+    // attribute space?
+    let query = Point2::new(0.42, 0.66);
+    let answer = net.handle_query(ids[0], query).unwrap();
+    println!(
+        "query {query} answered by {} at {} after {} hops",
+        answer.owner,
+        net.coords(answer.owner).unwrap(),
+        answer.hops
+    );
+
+    // The view an object maintains: Voronoi neighbours, close neighbours,
+    // long links and back-long-range pointers (Section 3.1 of the paper).
+    let view = net.view(answer.owner).unwrap();
+    println!(
+        "owner's view: {} voronoi neighbours, {} close, {} long links, {} back links ({} entries total)",
+        view.voronoi_neighbours.len(),
+        view.close_neighbours.len(),
+        view.long_links.len(),
+        view.back_long_links.len(),
+        view.size()
+    );
+
+    // Degree statistics: the mode of |vn(o)| is 6 regardless of distribution.
+    let degrees = net.degree_histogram();
+    println!(
+        "voronoi degree: mean {:.2}, mode {}, max {}",
+        degrees.mean(),
+        degrees.mode().unwrap(),
+        degrees.max().unwrap()
+    );
+
+    // Range query (the paper's motivating application): all objects with
+    // attribute values in [0.4, 0.6] x [0.4, 0.6].
+    let rect = Rect::new(Point2::new(0.4, 0.4), Point2::new(0.6, 0.6));
+    let report = range_query(
+        &mut net,
+        ids[3],
+        voronet::workloads::RangeQuery { rect },
+    )
+    .unwrap();
+    println!(
+        "range query over the centre square: {} matches, {} objects visited, {} flood messages",
+        report.matches.len(),
+        report.visited,
+        report.flood_messages
+    );
+}

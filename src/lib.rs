@@ -1,0 +1,46 @@
+//! # voronet
+//!
+//! Facade crate for the VoroNet reproduction — *VoroNet: A scalable object
+//! network based on Voronoi tessellations* (Beaumont, Kermarrec, Marchal,
+//! Rivière, IPDPS 2007).
+//!
+//! The workspace is organised as one crate per subsystem; this crate
+//! re-exports them so applications can depend on a single name:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`geom`] | robust predicates, incremental Delaunay/Voronoi |
+//! | [`stats`] | histograms, regressions, series export |
+//! | [`workloads`] | object distributions and query generators |
+//! | [`sim`] | discrete-event scheduler, traffic accounting |
+//! | [`smallworld`] | Kleinberg grid baseline |
+//! | [`core`] | the VoroNet overlay itself |
+//!
+//! ```
+//! use voronet::prelude::*;
+//!
+//! let mut net = VoroNet::new(VoroNetConfig::new(100).with_seed(1));
+//! let a = net.insert(Point2::new(0.2, 0.2)).unwrap().id;
+//! let b = net.insert(Point2::new(0.9, 0.7)).unwrap().id;
+//! assert_eq!(net.route_between(a, b).unwrap().owner, b);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use voronet_core as core;
+pub use voronet_geom as geom;
+pub use voronet_sim as sim;
+pub use voronet_smallworld as smallworld;
+pub use voronet_stats as stats;
+pub use voronet_workloads as workloads;
+
+/// Commonly used items, re-exported for `use voronet::prelude::*`.
+pub mod prelude {
+    pub use voronet_core::{
+        radius_query, range_query, JoinReport, LeaveReport, ObjectId, ObjectView, RouteReport,
+        VoroNet, VoroNetConfig,
+    };
+    pub use voronet_geom::{Point2, Rect, Triangulation};
+    pub use voronet_stats::{IntHistogram, Series};
+    pub use voronet_workloads::{Distribution, PointGenerator, QueryGenerator};
+}

@@ -1,0 +1,107 @@
+//! Cross-crate churn test: the overlay, its triangulation and its long-link
+//! bookkeeping stay mutually consistent under sustained joins and
+//! departures, for every workload distribution.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use voronet::prelude::*;
+use voronet_core::VoroNetConfig;
+
+fn churn_with(dist: Distribution, seed: u64) {
+    let cfg = VoroNetConfig::new(400).with_long_links(2).with_seed(seed);
+    let mut net = VoroNet::new(cfg);
+    let mut gen = PointGenerator::new(dist, seed ^ 0xF00D);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<ObjectId> = Vec::new();
+
+    for step in 0..600 {
+        if live.len() < 20 || rng.random::<f64>() < 0.62 {
+            if let Ok(r) = net.insert(gen.next_point()) {
+                live.push(r.id);
+            }
+        } else {
+            let idx = rng.random_range(0..live.len());
+            let id = live.swap_remove(idx);
+            net.remove(id).unwrap();
+        }
+        if step % 200 == 199 {
+            net.check_invariants(true)
+                .unwrap_or_else(|e| panic!("{} churn step {step}: {e}", dist.label()));
+            net.triangulation()
+                .validate()
+                .unwrap_or_else(|e| panic!("{} churn step {step}: {e}", dist.label()));
+        }
+    }
+    assert_eq!(net.len(), live.len());
+
+    // After churn, every long link still points at the owner of its target
+    // and routing still terminates at the right object.
+    let ids: Vec<ObjectId> = net.ids().collect();
+    for _ in 0..100 {
+        let a = ids[rng.random_range(0..ids.len())];
+        let b = ids[rng.random_range(0..ids.len())];
+        if a == b {
+            continue;
+        }
+        assert_eq!(net.route_between(a, b).unwrap().owner, b);
+    }
+}
+
+#[test]
+fn churn_uniform() {
+    churn_with(Distribution::Uniform, 1);
+}
+
+#[test]
+fn churn_heavy_skew() {
+    churn_with(Distribution::PowerLaw { alpha: 5.0 }, 2);
+}
+
+#[test]
+fn churn_clustered() {
+    churn_with(
+        Distribution::Clusters {
+            clusters: 4,
+            spread: 0.03,
+        },
+        3,
+    );
+}
+
+#[test]
+fn churn_gridlike_degenerate() {
+    // Jittered grid: lots of near-co-circular configurations exercising the
+    // exact-predicate fallbacks during both insertion and removal.
+    churn_with(
+        Distribution::Grid {
+            side: 25,
+            jitter: 0.2,
+        },
+        4,
+    );
+}
+
+#[test]
+fn overlay_can_be_emptied_and_refilled() {
+    let cfg = VoroNetConfig::new(200).with_seed(9);
+    let mut net = VoroNet::new(cfg);
+    let mut gen = PointGenerator::new(Distribution::Uniform, 10);
+    let mut ids = Vec::new();
+    for _ in 0..150 {
+        if let Ok(r) = net.insert(gen.next_point()) {
+            ids.push(r.id);
+        }
+    }
+    for id in ids.drain(..) {
+        net.remove(id).unwrap();
+    }
+    assert!(net.is_empty());
+    assert_eq!(net.owner_of(Point2::new(0.5, 0.5)), None);
+    for _ in 0..150 {
+        if let Ok(r) = net.insert(gen.next_point()) {
+            ids.push(r.id);
+        }
+    }
+    assert_eq!(net.len(), ids.len());
+    net.check_invariants(true).unwrap();
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) on the geometric substrate and the
+//! overlay invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use voronet::prelude::*;
+use voronet_core::VoroNetConfig;
+use voronet_geom::hull::{convex_hull, delaunay_edges_bruteforce};
+use voronet_geom::{orient2d, Orientation};
+
+/// Strategy: coordinates on a coarse lattice, so that duplicate, collinear
+/// and co-circular configurations are generated frequently (the degenerate
+/// cases the exact predicates must survive).
+fn lattice_points(max_len: usize) -> impl Strategy<Value = Vec<Point2>> {
+    vec((0u32..64, 0u32..64), 1..max_len).prop_map(|pts| {
+        pts.into_iter()
+            .map(|(x, y)| Point2::new(x as f64 / 64.0, y as f64 / 64.0))
+            .collect()
+    })
+}
+
+/// Strategy: arbitrary f64 points in the unit square.
+fn float_points(max_len: usize) -> impl Strategy<Value = Vec<Point2>> {
+    vec((0.0f64..1.0, 0.0f64..1.0), 1..max_len)
+        .prop_map(|pts| pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental triangulation stays structurally valid and Delaunay
+    /// for arbitrary (including degenerate) insertion sequences.
+    #[test]
+    fn triangulation_valid_after_lattice_insertions(pts in lattice_points(60)) {
+        let mut tri = Triangulation::unit_square();
+        let mut inserted = 0usize;
+        for p in &pts {
+            match tri.insert(*p) {
+                Ok(_) => inserted += 1,
+                Err(voronet_geom::InsertError::Duplicate(_)) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            }
+        }
+        prop_assert_eq!(tri.len(), inserted);
+        prop_assert!(tri.euler_check());
+        prop_assert!(tri.validate().is_ok(), "{:?}", tri.validate());
+    }
+
+    /// Inserting then removing every point returns the triangulation to its
+    /// empty state, whatever the order.
+    #[test]
+    fn triangulation_insert_remove_roundtrip(pts in float_points(40)) {
+        let mut tri = Triangulation::unit_square();
+        let mut ids = Vec::new();
+        for p in &pts {
+            if let Ok(v) = tri.insert(*p) {
+                ids.push(v);
+            }
+        }
+        // Remove in reverse insertion order.
+        for &v in ids.iter().rev() {
+            prop_assert!(tri.remove(v).is_ok());
+        }
+        prop_assert!(tri.is_empty());
+        prop_assert_eq!(tri.num_triangles(), 2);
+        prop_assert!(tri.validate().is_ok());
+    }
+
+    /// The greedy nearest-vertex walk agrees with a brute-force scan.
+    #[test]
+    fn nearest_vertex_matches_bruteforce(pts in float_points(40), qx in 0.0f64..1.0, qy in 0.0f64..1.0) {
+        let mut tri = Triangulation::unit_square();
+        let mut ids = Vec::new();
+        for p in &pts {
+            if let Ok(v) = tri.insert(*p) {
+                ids.push(v);
+            }
+        }
+        prop_assume!(!ids.is_empty());
+        let q = Point2::new(qx, qy);
+        let found = tri.nearest_vertex(q).unwrap();
+        let best = ids
+            .iter()
+            .map(|&v| tri.point(v).distance2(q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((tri.point(found).distance2(q) - best).abs() < 1e-15);
+    }
+
+    /// Interior Delaunay edges found incrementally match the brute-force
+    /// empty-circle oracle (hull edges may differ because of the sentinel
+    /// box; see DESIGN.md).
+    #[test]
+    fn incremental_interior_edges_are_delaunay(pts in float_points(26)) {
+        prop_assume!(pts.len() >= 4);
+        let mut dedup = pts.clone();
+        dedup.sort_by(|a, b| a.lex_cmp(b));
+        dedup.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+        prop_assume!(dedup.len() >= 4);
+
+        let hull = convex_hull(&dedup);
+        let is_hull = |p: Point2| hull.iter().any(|&h| h.x == p.x && h.y == p.y);
+
+        let mut tri = Triangulation::unit_square();
+        let ids: Vec<_> = dedup.iter().map(|&p| tri.insert(p).unwrap()).collect();
+        let brute = delaunay_edges_bruteforce(&dedup);
+        for (i, j) in brute {
+            if is_hull(dedup[i]) || is_hull(dedup[j]) {
+                continue;
+            }
+            prop_assert!(
+                tri.are_neighbors(ids[i], ids[j]),
+                "missing interior Delaunay edge between {} and {}",
+                dedup[i],
+                dedup[j]
+            );
+        }
+    }
+
+    /// Convex hull output is convex and contains every input point.
+    #[test]
+    fn convex_hull_is_convex_superset(pts in float_points(50)) {
+        let hull = convex_hull(&pts);
+        prop_assume!(hull.len() >= 3);
+        let n = hull.len();
+        for i in 0..n {
+            let a = hull[i];
+            let b = hull[(i + 1) % n];
+            prop_assert_eq!(orient2d(a, b, hull[(i + 2) % n]), Orientation::Positive);
+            for &p in &pts {
+                prop_assert!(orient2d(a, b, p) != Orientation::Negative);
+            }
+        }
+    }
+
+    /// Overlay invariants (close neighbours exact, long links owned,
+    /// back-links mirrored) hold after an arbitrary batch of insertions
+    /// followed by a prefix of removals.
+    #[test]
+    fn overlay_invariants_random_build_and_partial_teardown(
+        pts in float_points(30),
+        remove_count in 0usize..20,
+    ) {
+        let cfg = VoroNetConfig::new(40).with_long_links(2).with_seed(99);
+        let mut net = VoroNet::new(cfg);
+        let mut ids = Vec::new();
+        for p in &pts {
+            if let Ok(r) = net.insert(*p) {
+                ids.push(r.id);
+            }
+        }
+        for &id in ids.iter().take(remove_count.min(ids.len())) {
+            prop_assert!(net.remove(id).is_ok());
+        }
+        prop_assert!(net.check_invariants(true).is_ok(), "{:?}", net.check_invariants(true));
+        prop_assert!(net.triangulation().validate().is_ok());
+    }
+
+    /// Greedy routing always terminates at the owner of the target region.
+    #[test]
+    fn greedy_routing_terminates_at_owner(
+        pts in float_points(30),
+        qx in 0.0f64..1.0,
+        qy in 0.0f64..1.0,
+    ) {
+        let cfg = VoroNetConfig::new(40).with_seed(5);
+        let mut net = VoroNet::new(cfg);
+        let mut ids = Vec::new();
+        for p in &pts {
+            if let Ok(r) = net.insert(*p) {
+                ids.push(r.id);
+            }
+        }
+        prop_assume!(ids.len() >= 2);
+        let q = Point2::new(qx, qy);
+        let expected = net.owner_of(q).unwrap();
+        let got = net.route_to_point(ids[0], q).unwrap();
+        prop_assert_eq!(got.owner, expected);
+        prop_assert_eq!(got.path.len() as u32, got.hops + 1);
+    }
+}
