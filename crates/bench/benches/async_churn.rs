@@ -1,0 +1,70 @@
+//! Criterion bench of the asynchronous runtime: churn under latency.
+//!
+//! Measures the cost of executing a scripted churn scenario (interleaved
+//! joins, departures and routes) message-by-message on the per-node runtime,
+//! for an ideal network and for a lossy, latency-skewed one — the marginal
+//! cost of realism over the synchronous fast path.
+//!
+//! The warmup overlay is built **once** per configuration and cloned into
+//! each iteration, so the timed region is the message-driven execution
+//! itself, not the synchronous Delaunay warmup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use voronet_core::runtime::AsyncOverlay;
+use voronet_core::VoroNetConfig;
+use voronet_sim::{LatencyModel, NetworkModel, Scenario};
+use voronet_workloads::{Distribution, PointGenerator};
+
+fn churn_script(ops: usize, seed: u64) -> Scenario {
+    let mut joins = PointGenerator::new(Distribution::Uniform, seed ^ 0xCD);
+    Scenario::builder("bench-churn", seed)
+        .churn(0, (ops as u64) * 4, ops, 0.35, 0.15, move || {
+            joins.next_point()
+        })
+        .build()
+}
+
+fn bench_async_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_churn");
+    group.sample_size(10);
+    for (label, network) in [
+        ("ideal", NetworkModel::ideal()),
+        (
+            "lossy_skewed",
+            NetworkModel::new(
+                7,
+                LatencyModel::Skewed {
+                    min: 1,
+                    max: 50,
+                    alpha: 1.3,
+                },
+            )
+            .with_loss(0.05),
+        ),
+    ] {
+        for n in [500usize, 2_000] {
+            let scenario = churn_script(n / 2, 2006);
+            let mut base = AsyncOverlay::new(
+                VoroNetConfig::new(2 * n).with_seed(2006),
+                network.clone(),
+                scenario.seed,
+            );
+            base.warmup(&PointGenerator::new(Distribution::Uniform, 2006 ^ 0xAB).take_points(n));
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut overlay = base.clone();
+                    for &(t, op) in scenario.events() {
+                        overlay.schedule_op(t, op);
+                    }
+                    overlay.run_to_quiescence();
+                    black_box(overlay.counters())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async_churn);
+criterion_main!(benches);

@@ -18,13 +18,9 @@ fn fig6_routes(c: &mut Criterion) {
         for n in [2_000usize, 6_000] {
             let cfg = VoroNetConfig::new(n).with_seed(2006);
             let (mut net, ids) = build_overlay(dist, n, cfg);
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| black_box(mean_route_length(&mut net, &ids, 500, 42)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(mean_route_length(&mut net, &ids, 500, 42)));
+            });
         }
     }
     group.finish();

@@ -124,7 +124,11 @@ fn main() {
                         .map(|(d, c)| format!("{d},{c}\n")),
                 )
                 .collect();
-            save(&opts, &format!("fig5_{}.csv", label.replace([' ', '='], "_")), &csv);
+            save(
+                &opts,
+                &format!("fig5_{}.csv", label.replace([' ', '='], "_")),
+                &csv,
+            );
         }
     }
 
@@ -161,7 +165,10 @@ fn main() {
     if wants(&opts, "fig8") {
         println!("\nrunning Figure 8 (route length vs number of long links)...");
         let series = run_fig8(opts.scale);
-        print_series("Figure 8: mean route length vs long links per object", &series);
+        print_series(
+            "Figure 8: mean route length vs long links per object",
+            &series,
+        );
         save(&opts, "fig8_long_links.csv", &series_to_csv(&series));
     }
 

@@ -108,10 +108,7 @@ pub struct Fig5Output {
 /// Figure 5: distribution of the Voronoi out-degree `|vn(o)|` for the
 /// uniform and highly skewed (α = 5) workloads.
 pub fn run_fig5(scale: ExperimentScale) -> Fig5Output {
-    let dists = [
-        Distribution::Uniform,
-        Distribution::PowerLaw { alpha: 5.0 },
-    ];
+    let dists = [Distribution::Uniform, Distribution::PowerLaw { alpha: 5.0 }];
     let histograms = run_per_distribution(&dists, |dist| {
         let cfg = VoroNetConfig::new(scale.objects).with_seed(scale.seed);
         let (net, _) = build_overlay(dist, scale.objects, cfg);
@@ -158,10 +155,7 @@ pub fn run_fig7(fig6: &[Series]) -> Vec<(Series, Option<LinearFit>)> {
 /// Figure 8: mean route length at full size as a function of the number of
 /// long-range links (1..=max), for the uniform and α = 5 workloads.
 pub fn run_fig8(scale: ExperimentScale) -> Vec<Series> {
-    let dists = [
-        Distribution::Uniform,
-        Distribution::PowerLaw { alpha: 5.0 },
-    ];
+    let dists = [Distribution::Uniform, Distribution::PowerLaw { alpha: 5.0 }];
     run_per_distribution(&dists, |dist| {
         long_link_sweep(
             dist,

@@ -157,7 +157,10 @@ mod tests {
             .iter()
             .map(|&id| net.close_neighbours(id).unwrap().len())
             .sum();
-        assert!(fat_close > 0, "under-provisioned overlay should have close pairs");
+        assert!(
+            fat_close > 0,
+            "under-provisioned overlay should have close pairs"
+        );
 
         let policy = AdaptationPolicy {
             trigger_fraction: 1.0,

@@ -65,7 +65,11 @@ impl GrowthExperiment {
 ///
 /// Duplicate positions produced by the skewed generators are re-drawn, so the
 /// returned overlay always holds exactly `n` objects.
-pub fn build_overlay(dist: Distribution, n: usize, config: VoroNetConfig) -> (VoroNet, Vec<ObjectId>) {
+pub fn build_overlay(
+    dist: Distribution,
+    n: usize,
+    config: VoroNetConfig,
+) -> (VoroNet, Vec<ObjectId>) {
     let mut net = VoroNet::new(config);
     let mut generator = PointGenerator::with_domain(dist, config.seed ^ 0x9E3779B9, config.domain);
     let mut ids = Vec::with_capacity(n);
@@ -87,12 +91,7 @@ pub fn build_overlay(dist: Distribution, n: usize, config: VoroNetConfig) -> (Vo
 }
 
 /// Mean greedy route length over `pairs` random object pairs.
-pub fn mean_route_length(
-    net: &mut VoroNet,
-    ids: &[ObjectId],
-    pairs: usize,
-    seed: u64,
-) -> f64 {
+pub fn mean_route_length(net: &mut VoroNet, ids: &[ObjectId], pairs: usize, seed: u64) -> f64 {
     let mut qg = QueryGenerator::new(seed);
     let pair_ids: Vec<(ObjectId, ObjectId)> = qg
         .object_pairs(ids.len(), pairs)
@@ -134,7 +133,12 @@ pub fn route_length_growth(dist: Distribution, exp: GrowthExperiment) -> Series 
             Err(e) => panic!("unexpected join failure: {e}"),
         }
         if ids.len() % exp.step == 0 && ids.len() >= 2 {
-            let mean = mean_route_length(&mut net, &ids, exp.pairs_per_sample, exp.seed ^ ids.len() as u64);
+            let mean = mean_route_length(
+                &mut net,
+                &ids,
+                exp.pairs_per_sample,
+                exp.seed ^ ids.len() as u64,
+            );
             series.push(ids.len() as f64, mean);
         }
     }
@@ -152,7 +156,9 @@ pub fn long_link_sweep(
 ) -> Series {
     let mut series = Series::new(dist.label());
     for k in 1..=max_links {
-        let cfg = VoroNetConfig::new(n).with_long_links(k).with_seed(seed + k as u64);
+        let cfg = VoroNetConfig::new(n)
+            .with_long_links(k)
+            .with_seed(seed + k as u64);
         let (mut net, ids) = build_overlay(dist, n, cfg);
         let mean = mean_route_length(&mut net, &ids, pairs, seed ^ (k as u64) << 8);
         series.push(k as f64, mean);

@@ -14,7 +14,10 @@
 //! * [`VoroNetConfig`] — `N_max`, the number of long links and `d_min`;
 //! * [`queries`] — range and radius queries (the paper's perspectives);
 //! * [`experiments`] — drivers that regenerate each figure of the paper's
-//!   evaluation.
+//!   evaluation;
+//! * [`runtime`] — the protocol executing message-by-message over the
+//!   asynchronous per-node runtime of `voronet-sim`: scripted churn under
+//!   latency, loss and partitions ([`AsyncOverlay`], [`run_scenario`]).
 //!
 //! ```
 //! use voronet_core::{VoroNet, VoroNetConfig};
@@ -36,6 +39,7 @@ pub mod object;
 pub mod overlay;
 pub mod protocol;
 pub mod queries;
+pub mod runtime;
 
 pub use config::{DminRule, VoroNetConfig};
 pub use dynamic::{adapt_nmax, AdaptationPolicy, AdaptationReport, RefreshStrategy};
@@ -43,3 +47,7 @@ pub use object::{BackLink, LinkIndex, LongLink, ObjectId, ObjectView};
 pub use overlay::{JoinError, JoinReport, LeaveReport, OverlayError, RouteReport, VoroNet};
 pub use protocol::{algorithm5_route, Algorithm5Report, StopReason};
 pub use queries::{radius_query, range_query, segment_query, AreaQueryReport, SegmentQueryReport};
+pub use runtime::{
+    run_scenario, AsyncOverlay, ProtocolMsg, RoutePurpose, RoutingMode, ScenarioCounters,
+    ScenarioReport,
+};

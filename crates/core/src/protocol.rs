@@ -167,7 +167,10 @@ fn resolve_owner_locally(
         let mut best = cur;
         let mut best_d = cur_d;
         for n in net.voronoi_neighbours(cur)? {
-            let d = net.coords(n).expect("neighbours are live").distance2(target);
+            let d = net
+                .coords(n)
+                .expect("neighbours are live")
+                .distance2(target);
             if d < best_d {
                 best = n;
                 best_d = d;
@@ -321,10 +324,15 @@ mod tests {
         for _ in 0..trials {
             let target = qg.point();
             let from = ids[qg.object_index(ids.len())];
-            total += algorithm5_route(&net, from, target).unwrap().forwarding_hops as u64;
+            total += algorithm5_route(&net, from, target)
+                .unwrap()
+                .forwarding_hops as u64;
         }
         let mean = total as f64 / trials as f64;
         // ln(900)^2 ≈ 46; the constant is small in practice.
-        assert!(mean < 46.0, "mean forwarding hops {mean} too large for n=900");
+        assert!(
+            mean < 46.0,
+            "mean forwarding hops {mean} too large for n=900"
+        );
     }
 }

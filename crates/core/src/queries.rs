@@ -40,9 +40,13 @@ pub fn range_query(
     from: ObjectId,
     query: RangeQuery,
 ) -> Result<AreaQueryReport, OverlayError> {
-    area_query(net, from, query.rect.center(), move |p, cell_hits| {
-        query.rect.contains(p) || cell_hits
-    }, move |net, id| cell_intersects_rect(net, id, query.rect))
+    area_query(
+        net,
+        from,
+        query.rect.center(),
+        move |p, cell_hits| query.rect.contains(p) || cell_hits,
+        move |net, id| cell_intersects_rect(net, id, query.rect),
+    )
 }
 
 /// Executes a radius (disk) query issued by `from`.
@@ -91,9 +95,7 @@ fn cell_intersects_disk(net: &VoroNet, id: ObjectId, query: RadiusQuery) -> bool
         return false;
     }
     let n = poly.len();
-    (0..n).any(|i| {
-        query.center.distance_to_segment(poly[i], poly[(i + 1) % n]) <= query.radius
-    })
+    (0..n).any(|i| query.center.distance_to_segment(poly[i], poly[(i + 1) % n]) <= query.radius)
 }
 
 /// Common flood skeleton shared by range and radius queries.
@@ -320,11 +322,7 @@ mod tests {
     #[test]
     fn query_from_unknown_object_fails() {
         let (mut net, _) = build(20, 11);
-        let err = range_query(
-            &mut net,
-            ObjectId(10_000),
-            RangeQuery { rect: Rect::UNIT },
-        );
+        let err = range_query(&mut net, ObjectId(10_000), RangeQuery { rect: Rect::UNIT });
         assert!(err.is_err());
     }
 
@@ -349,7 +347,9 @@ mod tests {
         let ts: Vec<f64> = report
             .responsible
             .iter()
-            .map(|&id| (net.coords(id).unwrap().sub(a).dot(b.sub(a)) / b.sub(a).norm2()).clamp(0.0, 1.0))
+            .map(|&id| {
+                (net.coords(id).unwrap().sub(a).dot(b.sub(a)) / b.sub(a).norm2()).clamp(0.0, 1.0)
+            })
             .collect();
         for w in ts.windows(2) {
             assert!(w[0] <= w[1] + 1e-9);

@@ -1,0 +1,935 @@
+//! Message-driven execution of the VoroNet protocol on the asynchronous
+//! per-node runtime of `voronet-sim`.
+//!
+//! The rest of this crate executes every operation synchronously inside one
+//! [`VoroNet`] value — the right tool for reproducing the paper's figures,
+//! where only logical counts matter.  This module is the asynchronous
+//! counterpart: every live object becomes an independent state machine (a
+//! [`NodeState`] holding its own [`ObjectView`] plus the coordinates of the
+//! peers it knows), and every protocol step is a typed [`ProtocolMsg`]
+//! travelling through a [`Runtime`] under a pluggable [`NetworkModel`] —
+//! latency, loss and partition windows included.
+//!
+//! ## What is distributed and what is shared
+//!
+//! Routing decisions are made *purely from local state*: a node forwards a
+//! [`ProtocolMsg::RouteStep`] by inspecting its own cached view and peer
+//! coordinate table, nothing else.  Under message loss, views go stale and
+//! routes can dead-letter at departed nodes — exactly the failure modes a
+//! decentralised deployment would see.  Structural mutations
+//! (`AddVoronoiRegion` / `RemoveVoronoiRegion`) are applied to a shared
+//! authoritative tessellation once the triggering message *arrives* at the
+//! responsible node, standing in for the purely local Sugihara–Iri
+//! incremental construction of the paper; the resulting view changes then
+//! propagate to the affected nodes as [`ProtocolMsg::NeighborUpdate`]
+//! messages that are themselves subject to network conditions.  (The routing
+//! hops of long-link establishment are likewise folded into the join; see
+//! `JoinReport::long_link_hops` for the synchronous accounting.)
+//!
+//! On a loss-free network at quiescence every cached view equals the
+//! authoritative view, and the message-driven greedy route takes the exact
+//! same steps as [`VoroNet::route_to_point`] — asserted by the tests in
+//! `tests/async_runtime.rs`.
+//!
+//! ## Determinism
+//!
+//! For a fixed overlay config, scenario and network seed, two runs produce
+//! identical [`ScenarioReport`]s (traffic, route samples, delivery counters)
+//! — the scheduler breaks ties deterministically and both the network model
+//! and the workload RNG consume randomness in event order.
+
+use crate::config::VoroNetConfig;
+use crate::object::{ObjectId, ObjectView};
+use crate::overlay::{JoinError, VoroNet};
+use crate::queries::range_query;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use voronet_geom::{distance_to_region, Point2, Rect};
+use voronet_sim::{
+    Delivered, DeliveryStats, MessageKind, NetworkModel, NodeId, RouteStats, Runtime, Scenario,
+    ScenarioOp, SimTime, TrafficStats,
+};
+use voronet_workloads::RangeQuery;
+
+/// Highest provisional sender id handed to joining objects.  Each join
+/// request is sent from a *unique* provisional id counting down from here,
+/// so joiners are spread across partition components like any other host
+/// instead of all sharing one component.  Provisional ids never collide
+/// with object ids, which count up from zero.
+pub const JOINER: NodeId = NodeId::MAX;
+
+/// True when `node` is a provisional joiner id rather than a live object
+/// (useful when interpreting per-sender traffic).
+pub fn is_joiner(node: NodeId) -> bool {
+    node > NodeId::MAX - (1 << 32)
+}
+
+/// Why a route is being executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutePurpose {
+    /// Locate the region owner for a joining object, then insert it there.
+    Join {
+        /// Position of the joining object.
+        position: Point2,
+    },
+    /// A point query: record the hop count and answer the origin.
+    Query,
+    /// An area query: on arrival, flood the target rectangle.
+    AreaQuery {
+        /// Queried rectangle.
+        rect: Rect,
+    },
+}
+
+/// A typed protocol message exchanged between per-node state machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolMsg {
+    /// Request from a not-yet-joined object to its bootstrap node.
+    Join {
+        /// Position the new object wants to publish.
+        position: Point2,
+    },
+    /// One greedy forwarding step (`Spawn(Route, …)` in the paper).
+    RouteStep {
+        /// Point the route converges towards.
+        target: Point2,
+        /// Node that initiated the route (receives the answer).
+        origin: NodeId,
+        /// Forwarding steps taken so far.
+        hops: u32,
+        /// What to do on arrival.
+        purpose: RoutePurpose,
+    },
+    /// "Your neighbourhood changed — refresh your view."  Carries the
+    /// updated view implicitly (the receiving state machine pulls it from
+    /// the authoritative tessellation on delivery).
+    NeighborUpdate,
+    /// Departure notification from `RemoveVoronoiRegion`.
+    Leave,
+    /// Liveness probe; `reply` distinguishes the echo.
+    Ping {
+        /// True on the echo leg.
+        reply: bool,
+    },
+    /// Route answer delivered back to the origin.
+    Answer {
+        /// Hop count of the completed route.
+        hops: u32,
+    },
+}
+
+/// How `RouteStep` messages pick the next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Plain greedy walk to the owner (the walk measured by Figures 6–8).
+    #[default]
+    Greedy,
+    /// Algorithm 5: greedy walk with the paper's early-stop condition
+    /// (`d(z, t) ≤ ⅓·d(t, cur)` or `d(t, cur) ≤ d_min`) followed by local
+    /// resolution, as in [`crate::protocol::algorithm5_route`].
+    Algorithm5,
+}
+
+/// Per-node replica state: what this object knows locally.
+#[derive(Debug, Clone)]
+struct NodeState {
+    view: ObjectView,
+    /// Coordinates of every peer named in the view (attribute coordinates
+    /// are immutable, so this table can only be incomplete, never wrong).
+    peers: HashMap<ObjectId, Point2>,
+}
+
+/// Operation counters of one scenario execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioCounters {
+    /// Join operations injected.
+    pub joins_requested: u64,
+    /// Joins whose insertion completed.
+    pub joins_completed: u64,
+    /// Joins rejected (duplicate position, invalid position).
+    pub joins_failed: u64,
+    /// Graceful departures executed.
+    pub leaves: u64,
+    /// Routes started.
+    pub routes_started: u64,
+    /// Routes that reached their owner.
+    pub routes_completed: u64,
+    /// Route answers that made it back to the origin.
+    pub answers_received: u64,
+    /// Area queries completed (flood phase executed).
+    pub area_queries_completed: u64,
+    /// Total objects matched by completed area queries.
+    pub area_query_matches: u64,
+    /// Ping probes sent.
+    pub pings: u64,
+    /// Ping echoes received.
+    pub pongs: u64,
+    /// Operations skipped because the population was too small.
+    pub ops_skipped: u64,
+}
+
+/// Result of running a [`Scenario`] on the asynchronous runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Message-level traffic recorded by the runtime.
+    pub traffic: TrafficStats,
+    /// Hop counts of completed routes.
+    pub routes: RouteStats,
+    /// Message delivery counters (sent / delivered / dropped / dead).
+    pub delivery: DeliveryStats,
+    /// Operation counters.
+    pub counters: ScenarioCounters,
+    /// Live objects at the end of the run.
+    pub population: usize,
+    /// Logical time at quiescence.
+    pub end_time: SimTime,
+}
+
+/// The VoroNet protocol executing message-by-message over the asynchronous
+/// runtime.
+#[derive(Clone)]
+pub struct AsyncOverlay {
+    net: VoroNet,
+    nodes: HashMap<NodeId, NodeState>,
+    runtime: Runtime<ProtocolMsg, ScenarioOp>,
+    rng: StdRng,
+    mode: RoutingMode,
+    routes: RouteStats,
+    counters: ScenarioCounters,
+    /// `(owner, hops)` of the most recently completed query route — lets
+    /// callers measure a single message-driven route.
+    last_route: Option<(ObjectId, u32)>,
+    /// Next provisional sender id for a join request (counts down from
+    /// [`JOINER`]).
+    next_joiner: NodeId,
+    /// Scripted `Leave` operations are skipped at or below this population.
+    min_population: usize,
+}
+
+impl AsyncOverlay {
+    /// Creates an empty asynchronous overlay.  `seed` drives the runner's
+    /// workload choices (bootstrap and participant selection); the overlay's
+    /// own stochastic choices use `config.seed` as in the synchronous path.
+    pub fn new(config: VoroNetConfig, network: NetworkModel, seed: u64) -> Self {
+        AsyncOverlay {
+            net: VoroNet::new(config),
+            nodes: HashMap::new(),
+            runtime: Runtime::new(network),
+            rng: StdRng::seed_from_u64(seed ^ 0x0A57_C0DE),
+            mode: RoutingMode::default(),
+            routes: RouteStats::new(),
+            counters: ScenarioCounters::default(),
+            last_route: None,
+            next_joiner: JOINER,
+            min_population: 8,
+        }
+    }
+
+    /// Selects the routing mode for subsequent `RouteStep` handling.
+    pub fn with_routing_mode(mut self, mode: RoutingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the population floor below which scripted `Leave` operations
+    /// are skipped (and counted in
+    /// [`ScenarioCounters::ops_skipped`]).  Defaults to 8; set to 0 to let a
+    /// scenario empty the overlay entirely.
+    pub fn with_min_population(mut self, min: usize) -> Self {
+        self.min_population = min;
+        self
+    }
+
+    /// Read access to the authoritative overlay.
+    pub fn net(&self) -> &VoroNet {
+        &self.net
+    }
+
+    /// The cached local view of a live replica (`None` for unknown nodes).
+    /// On a loss-free network at quiescence this equals
+    /// [`VoroNet::view`]; under loss it may be stale.
+    pub fn replica_view(&self, id: ObjectId) -> Option<&ObjectView> {
+        self.nodes.get(&id.0).map(|s| &s.view)
+    }
+
+    /// Schedules a scripted operation at an absolute time (the primitive
+    /// behind [`run_scenario`]).
+    pub fn schedule_op(&mut self, at: SimTime, op: ScenarioOp) {
+        self.runtime.schedule_control_at(at, op);
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> SimTime {
+        self.runtime.now()
+    }
+
+    /// Hop samples of completed routes.
+    pub fn routes(&self) -> &RouteStats {
+        &self.routes
+    }
+
+    /// Operation counters so far.
+    pub fn counters(&self) -> ScenarioCounters {
+        self.counters
+    }
+
+    /// Message-level traffic so far.
+    pub fn traffic(&self) -> &TrafficStats {
+        self.runtime.traffic()
+    }
+
+    /// Delivery counters so far.
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        self.runtime.delivery_stats()
+    }
+
+    /// Live population (authoritative and replica counts always agree).
+    pub fn population(&self) -> usize {
+        self.net.len()
+    }
+
+    /// Inserts `points` synchronously (duplicates skipped) and initialises
+    /// every replica with a fresh view: the pre-existing overlay a scenario
+    /// runs against.
+    pub fn warmup(&mut self, points: &[Point2]) -> Vec<ObjectId> {
+        let mut ids = Vec::with_capacity(points.len());
+        for &p in points {
+            match self.net.insert(p) {
+                Ok(r) => ids.push(r.id),
+                Err(JoinError::DuplicatePosition(_)) => continue,
+                Err(e) => panic!("warmup insertion failed: {e}"),
+            }
+        }
+        for id in self.net.ids().collect::<Vec<_>>() {
+            self.runtime.spawn(id.0);
+            self.refresh_view(id);
+        }
+        ids
+    }
+
+    /// Runs until no message is in flight and no control event is pending.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some(event) = self.runtime.step() {
+            self.handle(event);
+        }
+    }
+
+    /// Measures one message-driven route between two live objects: injects
+    /// the route, runs to quiescence and returns `(owner, hops)` — `None`
+    /// when the route was lost to the network.
+    pub fn measure_route(&mut self, from: ObjectId, to: ObjectId) -> Option<(ObjectId, u32)> {
+        let target = self.net.coords(to)?;
+        self.last_route = None;
+        self.start_route(from, target, RoutePurpose::Query);
+        self.run_to_quiescence();
+        self.last_route
+    }
+
+    /// Consumes the overlay into a report.
+    pub fn into_report(self, scenario: impl Into<String>) -> ScenarioReport {
+        ScenarioReport {
+            scenario: scenario.into(),
+            traffic: self.runtime.traffic().clone(),
+            routes: self.routes,
+            delivery: self.runtime.delivery_stats(),
+            counters: self.counters,
+            population: self.net.len(),
+            end_time: self.runtime.now(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, event: Delivered<ProtocolMsg, ScenarioOp>) {
+        match event {
+            Delivered::Control { payload, .. } => self.inject_op(payload),
+            Delivered::Message { envelope, .. } => {
+                let at = ObjectId(envelope.to);
+                match envelope.payload {
+                    ProtocolMsg::Join { position } => {
+                        // The bootstrap node starts routing the join request
+                        // towards the region owner.
+                        self.start_route(at, position, RoutePurpose::Join { position });
+                    }
+                    ProtocolMsg::RouteStep {
+                        target,
+                        origin,
+                        hops,
+                        purpose,
+                    } => self.route_step(at, target, origin, hops, purpose),
+                    ProtocolMsg::NeighborUpdate | ProtocolMsg::Leave => {
+                        self.refresh_view(at);
+                    }
+                    ProtocolMsg::Ping { reply } => {
+                        if reply {
+                            self.counters.pongs += 1;
+                        } else {
+                            self.runtime.send(
+                                at.0,
+                                envelope.from,
+                                MessageKind::Other,
+                                ProtocolMsg::Ping { reply: true },
+                            );
+                        }
+                    }
+                    ProtocolMsg::Answer { .. } => {
+                        self.counters.answers_received += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject_op(&mut self, op: ScenarioOp) {
+        match op {
+            ScenarioOp::Join { at } => {
+                self.counters.joins_requested += 1;
+                if self.net.is_empty() {
+                    // The very first object needs no network.
+                    match self.net.insert(at) {
+                        Ok(r) => {
+                            self.runtime.spawn(r.id.0);
+                            self.refresh_view(r.id);
+                            self.counters.joins_completed += 1;
+                        }
+                        Err(_) => self.counters.joins_failed += 1,
+                    }
+                    return;
+                }
+                let bootstrap = self.random_live();
+                let joiner = self.next_joiner;
+                self.next_joiner -= 1;
+                self.runtime.send(
+                    joiner,
+                    bootstrap.0,
+                    MessageKind::Other,
+                    ProtocolMsg::Join { position: at },
+                );
+            }
+            ScenarioOp::Leave => {
+                if self.net.len() <= self.min_population {
+                    self.counters.ops_skipped += 1;
+                    return;
+                }
+                let departing = self.random_live();
+                self.depart(departing);
+            }
+            ScenarioOp::Route => {
+                let Some((a, b)) = self.random_live_pair() else {
+                    self.counters.ops_skipped += 1;
+                    return;
+                };
+                let target = self.net.coords(b).expect("picked live object");
+                self.start_route(a, target, RoutePurpose::Query);
+            }
+            ScenarioOp::RouteTo { target } => {
+                if self.net.is_empty() {
+                    self.counters.ops_skipped += 1;
+                    return;
+                }
+                let from = self.random_live();
+                self.start_route(from, target, RoutePurpose::Query);
+            }
+            ScenarioOp::AreaQuery { rect } => {
+                if self.net.is_empty() {
+                    self.counters.ops_skipped += 1;
+                    return;
+                }
+                let from = self.random_live();
+                self.start_route(from, rect.center(), RoutePurpose::AreaQuery { rect });
+            }
+            ScenarioOp::Ping => {
+                let Some((a, b)) = self.random_live_pair() else {
+                    self.counters.ops_skipped += 1;
+                    return;
+                };
+                self.counters.pings += 1;
+                self.runtime.send(
+                    a.0,
+                    b.0,
+                    MessageKind::Other,
+                    ProtocolMsg::Ping { reply: false },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing (local decisions over cached views)
+    // ------------------------------------------------------------------
+
+    fn start_route(&mut self, from: ObjectId, target: Point2, purpose: RoutePurpose) {
+        if matches!(purpose, RoutePurpose::Query) {
+            self.counters.routes_started += 1;
+        }
+        self.route_step(from, target, from.0, 0, purpose);
+    }
+
+    /// Handles a `RouteStep` arriving at (or starting from) `cur`: either
+    /// the route has arrived and the purpose completes here, or the message
+    /// is forwarded to the neighbour of `cur`'s *local view* closest to the
+    /// target.
+    fn route_step(
+        &mut self,
+        cur: ObjectId,
+        target: Point2,
+        origin: NodeId,
+        hops: u32,
+        purpose: RoutePurpose,
+    ) {
+        let Some(state) = self.nodes.get(&cur.0) else {
+            return; // Replica disappeared between delivery and handling.
+        };
+        let cur_coords = state.view.coords;
+        let cur_d = cur_coords.distance2(target);
+
+        if self.mode == RoutingMode::Algorithm5 && self.algorithm5_stop(cur, target) {
+            let owner = self.resolve_owner_locally(cur, target);
+            self.complete_route(owner, target, origin, hops, purpose);
+            return;
+        }
+
+        // Greedyneighbour(Target) over the cached local view.  The view's
+        // routing neighbours are sorted and deduplicated, so the choice is
+        // deterministic.
+        let state = self.nodes.get(&cur.0).expect("checked above");
+        let mut best = cur;
+        let mut best_d = cur_d;
+        for nb in state.view.routing_neighbours() {
+            if nb == cur {
+                continue;
+            }
+            let Some(coords) = state.peers.get(&nb) else {
+                continue; // Unknown coordinates: cannot evaluate this peer.
+            };
+            let d = coords.distance2(target);
+            if d < best_d {
+                best = nb;
+                best_d = d;
+            }
+        }
+        if best == cur {
+            self.complete_route(cur, target, origin, hops, purpose);
+        } else {
+            self.runtime.send(
+                cur.0,
+                best.0,
+                MessageKind::RouteForward,
+                ProtocolMsg::RouteStep {
+                    target,
+                    origin,
+                    hops: hops + 1,
+                    purpose,
+                },
+            );
+        }
+    }
+
+    /// The Algorithm 5 early-stop condition, evaluated from `cur`'s own
+    /// region (local information).
+    fn algorithm5_stop(&self, cur: ObjectId, target: Point2) -> bool {
+        let Some(vertex) = self.net.vertex_of(cur) else {
+            return false;
+        };
+        let cur_coords = self.net.coords(cur).expect("live object");
+        let d_cur = cur_coords.distance(target);
+        if d_cur <= self.net.dmin() {
+            return true;
+        }
+        let z = distance_to_region(self.net.triangulation(), vertex, target);
+        z.distance(target) <= d_cur / 3.0
+    }
+
+    /// Delaunay-walk to the true owner from a stopping point (the purely
+    /// local resolution of Algorithm 5's fictive-object insertion).
+    fn resolve_owner_locally(&self, from: ObjectId, target: Point2) -> ObjectId {
+        let mut cur = from;
+        let mut cur_d = self.net.coords(cur).expect("live object").distance2(target);
+        loop {
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for n in self.net.voronoi_neighbours(cur).expect("live object") {
+                let d = self
+                    .net
+                    .coords(n)
+                    .expect("live neighbour")
+                    .distance2(target);
+                if d < best_d {
+                    best = n;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                return cur;
+            }
+            cur = best;
+            cur_d = best_d;
+        }
+    }
+
+    fn complete_route(
+        &mut self,
+        owner: ObjectId,
+        _target: Point2,
+        origin: NodeId,
+        hops: u32,
+        purpose: RoutePurpose,
+    ) {
+        match purpose {
+            RoutePurpose::Join { position } => self.complete_join(owner, position),
+            RoutePurpose::Query => {
+                self.routes.record(hops);
+                self.counters.routes_completed += 1;
+                self.last_route = Some((owner, hops));
+                self.runtime.send(
+                    owner.0,
+                    origin,
+                    MessageKind::QueryAnswer,
+                    ProtocolMsg::Answer { hops },
+                );
+            }
+            RoutePurpose::AreaQuery { rect } => {
+                if let Ok(report) = range_query(&mut self.net, owner, RangeQuery { rect }) {
+                    self.counters.area_queries_completed += 1;
+                    self.counters.area_query_matches += report.matches.len() as u64;
+                    // The flood phase is executed synchronously (it is a
+                    // local wavefront over Voronoi edges); its per-hop cost
+                    // is still accounted as protocol traffic.
+                    for _ in 0..report.flood_messages {
+                        self.runtime.record_traffic(owner.0, MessageKind::Other);
+                    }
+                    self.runtime.send(
+                        owner.0,
+                        origin,
+                        MessageKind::QueryAnswer,
+                        ProtocolMsg::Answer { hops },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership changes
+    // ------------------------------------------------------------------
+
+    /// `AddVoronoiRegion` at the region owner: insert the object into the
+    /// authoritative tessellation, spawn its replica with a fresh view, and
+    /// notify every affected node so it refreshes its own.
+    fn complete_join(&mut self, owner: ObjectId, position: Point2) {
+        match self.net.insert_from(position, Some(owner)) {
+            Ok(report) => {
+                let id = report.id;
+                self.runtime.spawn(id.0);
+                self.refresh_view(id);
+                self.counters.joins_completed += 1;
+                for peer in self.affected_by(id) {
+                    self.runtime.send(
+                        id.0,
+                        peer.0,
+                        MessageKind::VoronoiUpdate,
+                        ProtocolMsg::NeighborUpdate,
+                    );
+                }
+            }
+            Err(_) => {
+                self.counters.joins_failed += 1;
+            }
+        }
+    }
+
+    /// `RemoveVoronoiRegion` initiated by `departing`: notify the
+    /// neighbourhood, then withdraw from the authoritative tessellation and
+    /// kill the replica.  The notifications race ahead through the network;
+    /// peers that miss them keep routing to a dead node (dead letters).
+    fn depart(&mut self, departing: ObjectId) {
+        let affected = self.affected_by(departing);
+        for peer in affected {
+            self.runtime.send(
+                departing.0,
+                peer.0,
+                MessageKind::Departure,
+                ProtocolMsg::Leave,
+            );
+        }
+        self.net.remove(departing).expect("picked a live object");
+        self.runtime.kill(departing.0);
+        self.nodes.remove(&departing.0);
+        self.counters.leaves += 1;
+    }
+
+    /// Every node whose view is affected by the presence/absence of `id`:
+    /// its Voronoi neighbours (edges created or destroyed by the region
+    /// change all touch them), its close neighbours, the sources of the back
+    /// links it holds, and the targets of its long links.
+    fn affected_by(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut affected: BTreeSet<ObjectId> = BTreeSet::new();
+        if let Ok(vn) = self.net.voronoi_neighbours(id) {
+            affected.extend(vn);
+        }
+        if let Ok(cn) = self.net.close_neighbours(id) {
+            affected.extend(cn);
+        }
+        if let Ok(links) = self.net.long_links(id) {
+            affected.extend(links.into_iter().map(|l| l.neighbour));
+        }
+        if let Ok(back) = self.net.back_links(id) {
+            affected.extend(back.into_iter().map(|b| b.source));
+        }
+        affected.remove(&id);
+        affected.into_iter().collect()
+    }
+
+    /// Pulls a fresh view (and the coordinates of everyone it names) from
+    /// the authoritative state into the replica of `id` — the content a
+    /// `NeighborUpdate` message carries.
+    fn refresh_view(&mut self, id: ObjectId) {
+        let Ok(view) = self.net.view(id) else {
+            return; // The object is gone; a stale update arrived late.
+        };
+        let mut peers = HashMap::new();
+        for nb in view
+            .voronoi_neighbours
+            .iter()
+            .chain(view.close_neighbours.iter())
+            .copied()
+            .chain(view.long_links.iter().map(|l| l.neighbour))
+            .chain(view.back_long_links.iter().map(|b| b.source))
+        {
+            if let Some(c) = self.net.coords(nb) {
+                peers.insert(nb, c);
+            }
+        }
+        self.nodes.insert(id.0, NodeState { view, peers });
+    }
+
+    // ------------------------------------------------------------------
+    // Workload choices (deterministic from the runner seed)
+    // ------------------------------------------------------------------
+
+    fn random_live(&mut self) -> ObjectId {
+        let idx = self.rng.random_range(0..self.net.len());
+        self.net.id_at(idx).expect("index below len")
+    }
+
+    fn random_live_pair(&mut self) -> Option<(ObjectId, ObjectId)> {
+        let n = self.net.len();
+        if n < 2 {
+            return None;
+        }
+        let a = self.rng.random_range(0..n);
+        let mut b = self.rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        Some((
+            self.net.id_at(a).expect("index below len"),
+            self.net.id_at(b).expect("index below len"),
+        ))
+    }
+}
+
+/// Runs a scripted [`Scenario`] end-to-end on the asynchronous runtime and
+/// returns its report.
+pub fn run_scenario(
+    config: VoroNetConfig,
+    scenario: &Scenario,
+    network: NetworkModel,
+    mode: RoutingMode,
+) -> ScenarioReport {
+    let mut overlay = AsyncOverlay::new(config, network, scenario.seed).with_routing_mode(mode);
+    overlay.warmup(&scenario.warmup);
+    for &(t, op) in scenario.events() {
+        overlay.runtime.schedule_control_at(t, op);
+    }
+    overlay.run_to_quiescence();
+    overlay.into_report(scenario.name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voronet_sim::{LatencyModel, PartitionWindow};
+    use voronet_workloads::{Distribution, PointGenerator};
+
+    fn uniform_points(n: usize, seed: u64) -> Vec<Point2> {
+        PointGenerator::new(Distribution::Uniform, seed).take_points(n)
+    }
+
+    #[test]
+    fn warmup_views_match_authoritative_state() {
+        let cfg = VoroNetConfig::new(200).with_seed(3);
+        let mut ov = AsyncOverlay::new(cfg, NetworkModel::ideal(), 3);
+        let ids = ov.warmup(&uniform_points(150, 17));
+        assert_eq!(ov.population(), ids.len());
+        for &id in &ids {
+            let replica = &ov.nodes[&id.0];
+            let fresh = ov.net.view(id).unwrap();
+            assert_eq!(replica.view.voronoi_neighbours, fresh.voronoi_neighbours);
+            assert_eq!(replica.view.close_neighbours, fresh.close_neighbours);
+            for nb in replica.view.routing_neighbours() {
+                if nb != id {
+                    assert_eq!(replica.peers.get(&nb), ov.net.coords(nb).as_ref());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_driven_route_agrees_with_synchronous_route() {
+        let cfg = VoroNetConfig::new(300).with_seed(5);
+        let mut ov = AsyncOverlay::new(cfg, NetworkModel::ideal(), 5);
+        let ids = ov.warmup(&uniform_points(250, 23));
+        let mut sync_net = {
+            // Rebuild the identical overlay for the synchronous fast path.
+            let cfg = VoroNetConfig::new(300).with_seed(5);
+            let mut net = VoroNet::new(cfg);
+            for &p in &uniform_points(250, 23) {
+                let _ = net.insert(p);
+            }
+            net
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..60 {
+            let a = ids[rng.random_range(0..ids.len())];
+            let b = ids[rng.random_range(0..ids.len())];
+            if a == b {
+                continue;
+            }
+            let (owner, hops) = ov.measure_route(a, b).expect("loss-free route completes");
+            let sync = sync_net.route_between(a, b).unwrap();
+            assert_eq!(
+                owner, sync.owner,
+                "owners must agree on a loss-free network"
+            );
+            assert_eq!(hops, sync.hops, "hop counts must agree with fresh views");
+        }
+    }
+
+    #[test]
+    fn algorithm5_mode_reaches_the_true_owner() {
+        let cfg = VoroNetConfig::new(300).with_seed(7);
+        let mut ov = AsyncOverlay::new(cfg, NetworkModel::ideal(), 7)
+            .with_routing_mode(RoutingMode::Algorithm5);
+        let ids = ov.warmup(&uniform_points(200, 29));
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..40 {
+            let a = ids[rng.random_range(0..ids.len())];
+            let b = ids[rng.random_range(0..ids.len())];
+            if a == b {
+                continue;
+            }
+            let (owner, _) = ov.measure_route(a, b).expect("loss-free route completes");
+            assert_eq!(owner, b, "algorithm 5 must resolve the true owner");
+        }
+    }
+
+    #[test]
+    fn async_join_inserts_at_the_right_region_and_propagates_views() {
+        let cfg = VoroNetConfig::new(100).with_seed(11);
+        let mut ov = AsyncOverlay::new(cfg, NetworkModel::ideal(), 11);
+        ov.warmup(&uniform_points(60, 41));
+        let before = ov.population();
+        let p = Point2::new(0.123_456, 0.654_321);
+        ov.runtime
+            .schedule_control_at(1, ScenarioOp::Join { at: p });
+        ov.run_to_quiescence();
+        assert_eq!(ov.population(), before + 1);
+        assert_eq!(ov.counters().joins_completed, 1);
+        let id = ov.net.owner_of(p).unwrap();
+        assert_eq!(ov.net.coords(id), Some(p));
+        // Every affected neighbour has refreshed: its replica view equals
+        // the authoritative view.
+        for nb in ov.net.voronoi_neighbours(id).unwrap() {
+            let replica = &ov.nodes[&nb.0];
+            let fresh = ov.net.view(nb).unwrap();
+            assert_eq!(replica.view.voronoi_neighbours, fresh.voronoi_neighbours);
+            assert!(replica.view.voronoi_neighbours.contains(&id));
+        }
+    }
+
+    #[test]
+    fn async_leave_notifies_neighbours_and_kills_the_replica() {
+        let cfg = VoroNetConfig::new(100).with_seed(13);
+        let mut ov = AsyncOverlay::new(cfg, NetworkModel::ideal(), 13);
+        let ids = ov.warmup(&uniform_points(40, 43));
+        let before = ov.population();
+        ov.runtime.schedule_control_at(1, ScenarioOp::Leave);
+        ov.run_to_quiescence();
+        assert_eq!(ov.population(), before - 1);
+        assert_eq!(ov.counters().leaves, 1);
+        let gone: Vec<ObjectId> = ids.into_iter().filter(|&i| !ov.net.contains(i)).collect();
+        assert_eq!(gone.len(), 1);
+        assert!(!ov.nodes.contains_key(&gone[0].0));
+        // Survivors' views no longer mention the departed node.
+        for id in ov.net.ids().collect::<Vec<_>>() {
+            let replica = &ov.nodes[&id.0];
+            assert!(!replica.view.routing_neighbours().contains(&gone[0]));
+        }
+    }
+
+    #[test]
+    fn lossy_network_loses_routes_but_never_panics() {
+        let cfg = VoroNetConfig::new(200).with_seed(17);
+        let network = NetworkModel::new(17, LatencyModel::Uniform { min: 1, max: 20 })
+            .with_loss(0.3)
+            .with_partition(PartitionWindow {
+                start: 50,
+                end: 150,
+                groups: 3,
+            });
+        let scenario = Scenario::builder("lossy-churn", 17)
+            .warmup(uniform_points(120, 47))
+            .churn(0, 400, 120, 0.3, 0.15, {
+                let mut pg = PointGenerator::new(Distribution::Uniform, 53);
+                move || pg.next_point()
+            })
+            .build();
+        let report = run_scenario(cfg, &scenario, network, RoutingMode::Greedy);
+        assert!(report.delivery.dropped_loss > 0, "{:?}", report.delivery);
+        assert!(
+            report.counters.routes_completed <= report.counters.routes_started,
+            "{:?}",
+            report.counters
+        );
+        assert!(report.population > 0);
+        assert_eq!(
+            report.counters.routes_completed as usize,
+            report.routes.count()
+        );
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let run = || {
+            let cfg = VoroNetConfig::new(150).with_seed(19);
+            let network = NetworkModel::new(
+                19,
+                LatencyModel::Skewed {
+                    min: 1,
+                    max: 50,
+                    alpha: 1.5,
+                },
+            )
+            .with_loss(0.1);
+            let scenario = Scenario::builder("det", 19)
+                .warmup(uniform_points(80, 59))
+                .churn(0, 300, 90, 0.35, 0.15, {
+                    let mut pg = PointGenerator::new(Distribution::Uniform, 61);
+                    move || pg.next_point()
+                })
+                .every(10, 25, 8, |_| ScenarioOp::Ping)
+                .build();
+            run_scenario(cfg, &scenario, network, RoutingMode::Greedy)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce the identical report");
+        assert!(a.counters.pings > 0);
+    }
+}

@@ -150,10 +150,8 @@ impl Expansion {
             }
             q = qnew;
         }
-        if q != 0.0 || h.is_empty() {
-            if q != 0.0 {
-                h.push(q);
-            }
+        if q != 0.0 {
+            h.push(q);
         }
         Expansion { components: h }
     }

@@ -71,11 +71,11 @@ pub fn is_delaunay_edge_bruteforce(points: &[Point2], a: usize, b: usize) -> boo
             (pa, pc, pb)
         };
         let mut empty = true;
-        for d in 0..n {
+        for (d, &pd) in points.iter().enumerate() {
             if d == a || d == b || d == c {
                 continue;
             }
-            if incircle(x, y, z, points[d]) == Orientation::Positive {
+            if incircle(x, y, z, pd) == Orientation::Positive {
                 empty = false;
                 break;
             }
@@ -129,7 +129,9 @@ mod tests {
 
     #[test]
     fn hull_collinear_points() {
-        let pts: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let pts: Vec<Point2> = (0..10)
+            .map(|i| Point2::new(i as f64, 2.0 * i as f64))
+            .collect();
         let hull = convex_hull(&pts);
         assert_eq!(hull.len(), 2);
     }
@@ -155,9 +157,15 @@ mod tests {
             let a = hull[i];
             let b = hull[(i + 1) % n];
             let c = hull[(i + 2) % n];
-            assert!(orient2d(a, b, c).is_positive(), "hull must be strictly convex");
+            assert!(
+                orient2d(a, b, c).is_positive(),
+                "hull must be strictly convex"
+            );
             for &p in &pts {
-                assert!(!orient2d(a, b, p).is_negative(), "all points left of hull edges");
+                assert!(
+                    !orient2d(a, b, p).is_negative(),
+                    "all points left of hull edges"
+                );
             }
         }
     }

@@ -123,6 +123,7 @@ impl std::error::Error for InsertError {}
 impl std::error::Error for RemoveError {}
 
 /// Incremental Delaunay triangulation over a rectangular domain.
+#[derive(Clone)]
 pub struct Triangulation {
     points: Vec<Point2>,
     vert_tri: Vec<u32>,
@@ -228,7 +229,7 @@ impl Triangulation {
     /// Iterator over live triangles as vertex-id triples (including triangles
     /// touching sentinels).
     pub fn triangles(&self) -> impl Iterator<Item = [VertexId; 3]> + '_ {
-        (0..self.tris.len()).filter_map(move |t| self.tri_alive[t].then(|| self.tris[t].v))
+        (0..self.tris.len()).filter_map(move |t| self.tri_alive[t].then_some(self.tris[t].v))
     }
 
     /// Iterator over live triangles whose three vertices are real objects.
@@ -723,7 +724,8 @@ impl Triangulation {
         self.vert_tri[v as usize] = NIL;
         self.free_verts.push(v);
         self.live_real_vertices -= 1;
-        self.hint.set(*created.last().expect("at least one triangle created"));
+        self.hint
+            .set(*created.last().expect("at least one triangle created"));
 
         // Restore the Delaunay property on the diagonals created by ear
         // clipping (Lawson flips; hole boundary edges are already Delaunay).
@@ -931,7 +933,9 @@ impl Triangulation {
                     }
                 };
                 if other.n[oi] != ti as u32 {
-                    return Err(format!("neighbour back-pointer broken between {ti} and {nb}"));
+                    return Err(format!(
+                        "neighbour back-pointer broken between {ti} and {nb}"
+                    ));
                 }
                 // Local Delaunay check.
                 let d = self.points[other.v[oi] as usize];

@@ -189,8 +189,7 @@ mod tests {
         for &v in ids.iter().take(30) {
             let cell = voronoi_cell(&t, v);
             assert!(
-                cell.clipped(Rect::UNIT).contains(t.point(v))
-                    || cell.polygon.contains(t.point(v)),
+                cell.clipped(Rect::UNIT).contains(t.point(v)) || cell.polygon.contains(t.point(v)),
                 "a site must lie in its own cell"
             );
         }

@@ -4,13 +4,26 @@
 //! order and count of protocol messages, not wall-clock latency.  The
 //! scheduler delivers events in `(time, sequence)` order, which makes every
 //! run bit-for-bit reproducible for a given seed and insertion order.
+//!
+//! Every scheduled event is identified by an [`EventHandle`]; a pending
+//! event can be [cancelled](EventQueue::cancel) (timeouts that were met) or
+//! [rescheduled](EventQueue::reschedule) (retries, keep-alives) without
+//! perturbing the delivery order of unrelated events — cancellation uses
+//! lazy deletion, so the heap order of the surviving events is untouched.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Logical simulation time (abstract units; the overlay uses "one hop = one
 /// unit" by default).
 pub type SimTime = u64;
+
+/// Identifier of a scheduled (and not yet delivered) event.
+///
+/// Handles are unique across the lifetime of a queue: a handle is never
+/// reused, so a stale handle simply fails to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct EventKey {
@@ -20,10 +33,12 @@ struct EventKey {
 
 /// A deterministic event queue: events scheduled at the same time are
 /// delivered in scheduling order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<(Reverse<EventKey>, usize)>,
     slots: Vec<Option<E>>,
+    /// Slot index of every pending (not delivered, not cancelled) event.
+    by_handle: HashMap<u64, usize>,
     free: Vec<usize>,
     now: SimTime,
     seq: u64,
@@ -42,6 +57,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             slots: Vec::new(),
+            by_handle: HashMap::new(),
             free: Vec::new(),
             now: 0,
             seq: 0,
@@ -61,22 +77,22 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.by_handle.len()
     }
 
     /// True when no event is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.by_handle.is_empty()
     }
 
     /// Schedules `event` to fire `delay` units after the current time.
-    pub fn schedule(&mut self, delay: SimTime, event: E) {
-        self.schedule_at(self.now.saturating_add(delay), event);
+    pub fn schedule(&mut self, delay: SimTime, event: E) -> EventHandle {
+        self.schedule_at(self.now.saturating_add(delay), event)
     }
 
     /// Schedules `event` at an absolute time (clamped to the present so time
     /// never goes backwards).
-    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventHandle {
         let time = time.max(self.now);
         let key = EventKey {
             time,
@@ -93,17 +109,51 @@ impl<E> EventQueue<E> {
                 self.slots.len() - 1
             }
         };
+        self.by_handle.insert(key.seq, slot);
         self.heap.push((Reverse(key), slot));
+        EventHandle(key.seq)
+    }
+
+    /// Cancels a pending event, returning its payload.  Returns `None` when
+    /// the event was already delivered, cancelled or rescheduled.
+    ///
+    /// Cancellation is lazy: the heap entry is skipped (and its slot
+    /// recycled) when its delivery time comes, so cancelling never perturbs
+    /// the relative order of the surviving events.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        let slot = self.by_handle.remove(&handle.0)?;
+        // The slot stays reserved until the stale heap entry is popped;
+        // freeing it now could hand it to a new event that the stale entry
+        // would then deliver early.
+        self.slots[slot].take()
+    }
+
+    /// Cancels a pending event and schedules its payload again `delay` units
+    /// after the current time, returning the new handle.  Returns `None`
+    /// (and schedules nothing) when the event was no longer pending.
+    pub fn reschedule(&mut self, handle: EventHandle, delay: SimTime) -> Option<EventHandle> {
+        let event = self.cancel(handle)?;
+        Some(self.schedule(delay, event))
     }
 
     /// Pops the next event, advancing the clock to its delivery time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let (Reverse(key), slot) = self.heap.pop()?;
-        self.now = key.time;
-        self.delivered += 1;
-        let ev = self.slots[slot].take().expect("scheduled slot holds an event");
-        self.free.push(slot);
-        Some((key.time, ev))
+        while let Some((Reverse(key), slot)) = self.heap.pop() {
+            match self.slots[slot].take() {
+                Some(ev) => {
+                    self.now = key.time;
+                    self.delivered += 1;
+                    self.by_handle.remove(&key.seq);
+                    self.free.push(slot);
+                    return Some((key.time, ev));
+                }
+                None => {
+                    // Cancelled event: recycle the slot and keep looking.
+                    self.free.push(slot);
+                }
+            }
+        }
+        None
     }
 
     /// Runs the queue to exhaustion, calling `handler` for every event.  The
@@ -183,5 +233,161 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert!(q.pop().is_none());
         assert_eq!(q.now(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Determinism
+    // ------------------------------------------------------------------
+
+    /// Replays one fixed but adversarial schedule (bursts of identical
+    /// delivery times, interleaved pops) and returns the delivery order.
+    fn replay() -> Vec<(SimTime, u64)> {
+        let mut q = EventQueue::new();
+        let mut order = Vec::new();
+        let mut next_id = 0u64;
+        // Mix scheduling and popping so that `now` advances mid-build.
+        for wave in 0..5u64 {
+            for i in 0..40u64 {
+                let delay = (i * 7919 + wave) % 11; // many ties per wave
+                q.schedule(delay, next_id);
+                next_id += 1;
+            }
+            for _ in 0..15 {
+                if let Some((t, e)) = q.pop() {
+                    order.push((t, e));
+                }
+            }
+        }
+        while let Some((t, e)) = q.pop() {
+            order.push((t, e));
+        }
+        order
+    }
+
+    #[test]
+    fn identical_schedules_deliver_identically() {
+        let a = replay();
+        let b = replay();
+        assert_eq!(a.len(), 200);
+        assert_eq!(a, b, "same schedule must produce the same delivery order");
+    }
+
+    #[test]
+    fn ties_at_equal_time_deliver_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.schedule(42, i);
+        }
+        let mut seen = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t, 42);
+            seen.push(e);
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    // ------------------------------------------------------------------
+    // Cancel / reschedule
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cancel_removes_exactly_one_event() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(1, "a");
+        let b = q.schedule(2, "b");
+        let _c = q.schedule(3, "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.cancel(b), Some("b"));
+        assert_eq!(q.len(), 2);
+        // Double-cancel is a no-op.
+        assert_eq!(q.cancel(b), None);
+        let delivered: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(delivered, vec!["a", "c"]);
+        assert_eq!(q.delivered(), 2, "cancelled events are not delivered");
+    }
+
+    #[test]
+    fn cancel_after_delivery_returns_none() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(0, "x");
+        assert_eq!(q.pop(), Some((0, "x")));
+        assert_eq!(q.cancel(h), None);
+    }
+
+    #[test]
+    fn cancel_does_not_perturb_order_of_survivors() {
+        let build = |cancel_some: bool| {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            for i in 0..50u64 {
+                handles.push(q.schedule(i % 5, i));
+            }
+            if cancel_some {
+                for (i, &h) in handles.iter().enumerate() {
+                    if i % 3 == 0 {
+                        assert!(q.cancel(h).is_some());
+                    }
+                }
+            }
+            let mut order = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                order.push((t, e));
+            }
+            order
+        };
+        let with_cancels = build(true);
+        let without: Vec<_> = build(false)
+            .into_iter()
+            .filter(|&(_, e)| e % 3 != 0)
+            .collect();
+        assert_eq!(
+            with_cancels, without,
+            "cancelling must be equivalent to the events never having fired"
+        );
+    }
+
+    #[test]
+    fn reschedule_moves_an_event_later() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, "a");
+        q.schedule(2, "b");
+        let a2 = q.reschedule(a, 5).expect("a is pending");
+        // The original handle is dead, the new one is live.
+        assert_eq!(q.cancel(a), None);
+        let delivered: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(delivered, vec![(2, "b"), (5, "a")]);
+        // After delivery the rescheduled handle is dead too.
+        let mut q2: EventQueue<&str> = EventQueue::new();
+        assert_eq!(q2.reschedule(a2, 1), None);
+    }
+
+    #[test]
+    fn reschedule_ties_go_to_the_back_of_the_time_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(3, "a");
+        q.schedule(3, "b");
+        // Rescheduling "a" to the same delivery time demotes it behind "b"
+        // (it becomes the youngest event of the slot) — deterministically.
+        q.reschedule(a, 3).unwrap();
+        let delivered: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(delivered, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn slots_recycled_after_cancellations() {
+        let mut q = EventQueue::new();
+        for _ in 0..100 {
+            let hs: Vec<_> = (0..10).map(|i| q.schedule(i, i)).collect();
+            for h in hs {
+                q.cancel(h);
+            }
+            assert!(q.pop().is_none());
+            assert!(q.is_empty());
+        }
+        assert!(
+            q.slots.len() <= 10,
+            "cancelled slots must be recycled (got {})",
+            q.slots.len()
+        );
     }
 }

@@ -30,7 +30,7 @@ pub enum MessageKind {
 }
 
 /// Aggregated traffic counters for a simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficStats {
     per_kind: BTreeMap<MessageKind, u64>,
     per_node_sent: BTreeMap<NodeId, u64>,
@@ -102,7 +102,7 @@ impl TrafficStats {
 }
 
 /// Accumulator of per-route hop counts (the paper's central routing metric).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouteStats {
     hops: Vec<u32>,
 }

@@ -123,7 +123,7 @@ impl KleinbergGrid {
                         if vpos == upos {
                             continue;
                         }
-                        long[u].push((vpos.row * side + vpos.col) as u32);
+                        long[u].push(vpos.row * side + vpos.col);
                         break;
                     }
                 }
@@ -241,10 +241,10 @@ fn l1_ring_offset(r: i64, offset: i64) -> (i64, i64) {
     let side = offset / r; // which of the 4 diagonal sides of the diamond
     let t = offset % r;
     match side {
-        0 => (r - t, t),     // from (r, 0) towards (0, r)
-        1 => (-t, r - t),    // from (0, r) towards (-r, 0)
-        2 => (t - r, -t),    // from (-r, 0) towards (0, -r)
-        _ => (t, t - r),     // from (0, -r) towards (r, 0)
+        0 => (r - t, t),  // from (r, 0) towards (0, r)
+        1 => (-t, r - t), // from (0, r) towards (-r, 0)
+        2 => (t - r, -t), // from (-r, 0) towards (0, -r)
+        _ => (t, t - r),  // from (0, -r) towards (r, 0)
     }
 }
 
@@ -368,10 +368,10 @@ mod tests {
     #[test]
     fn routes_scale_polylogarithmically_at_s2() {
         // Mean hops at s=2 should grow far slower than the lattice diameter.
-        let small = KleinbergGrid::build(KleinbergConfig::navigable(16), 31)
-            .mean_route_length(300, 3);
-        let large = KleinbergGrid::build(KleinbergConfig::navigable(64), 31)
-            .mean_route_length(300, 3);
+        let small =
+            KleinbergGrid::build(KleinbergConfig::navigable(16), 31).mean_route_length(300, 3);
+        let large =
+            KleinbergGrid::build(KleinbergConfig::navigable(64), 31).mean_route_length(300, 3);
         // Diameter grows 4x; poly-log growth should stay well under 3x.
         assert!(
             large < small * 3.0,

@@ -147,8 +147,7 @@ impl PointGenerator {
                 Point2::new(self.zipf_coordinate(), self.zipf_coordinate())
             }
             Distribution::Clusters { spread, .. } => {
-                let c = self.cluster_centers
-                    [self.rng.random_range(0..self.cluster_centers.len())];
+                let c = self.cluster_centers[self.rng.random_range(0..self.cluster_centers.len())];
                 // Box–Muller transform for an isotropic Gaussian offset.
                 let u1: f64 = self.rng.random::<f64>().max(1e-12);
                 let u2: f64 = self.rng.random();
@@ -268,7 +267,10 @@ mod tests {
             high > low,
             "alpha=5 ({high}) must be more skewed than alpha=1 ({low})"
         );
-        assert!(high > 0.9, "alpha=5 concentrates almost everything, got {high}");
+        assert!(
+            high > 0.9,
+            "alpha=5 concentrates almost everything, got {high}"
+        );
     }
 
     #[test]

@@ -74,7 +74,8 @@ fn main() {
         mean_close(&net)
     );
 
-    net.check_invariants(false).expect("invariants hold after adaptation");
+    net.check_invariants(false)
+        .expect("invariants hold after adaptation");
 
     // Routing is still exact.
     let ids: Vec<ObjectId> = net.ids().collect();

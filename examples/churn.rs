@@ -51,7 +51,8 @@ fn main() {
             leaves += 1;
         }
         if step % 1000 == 999 {
-            net.check_invariants(false).expect("overlay invariants must survive churn");
+            net.check_invariants(false)
+                .expect("overlay invariants must survive churn");
             println!(
                 "step {:>5}: {:>5} objects live, invariants OK",
                 step + 1,
@@ -61,7 +62,10 @@ fn main() {
     }
 
     println!("\nchurn summary over {STEPS} steps:");
-    println!("  joins: {joins} (avg {:.1} messages each)", join_messages as f64 / joins as f64);
+    println!(
+        "  joins: {joins} (avg {:.1} messages each)",
+        join_messages as f64 / joins as f64
+    );
     println!(
         "  leaves: {leaves} (avg {:.1} messages each, {:.2} long links delegated each)",
         leave_messages as f64 / leaves as f64,

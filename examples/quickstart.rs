@@ -22,7 +22,11 @@ fn main() {
             ids.push(report.id);
         }
     }
-    println!("published {} objects (d_min = {:.5})", net.len(), net.dmin());
+    println!(
+        "published {} objects (d_min = {:.5})",
+        net.len(),
+        net.dmin()
+    );
 
     // Greedy routing between two random objects.
     let route = net.route_between(ids[17], ids[1_900]).unwrap();
@@ -69,12 +73,7 @@ fn main() {
     // Range query (the paper's motivating application): all objects with
     // attribute values in [0.4, 0.6] x [0.4, 0.6].
     let rect = Rect::new(Point2::new(0.4, 0.4), Point2::new(0.6, 0.6));
-    let report = range_query(
-        &mut net,
-        ids[3],
-        voronet::workloads::RangeQuery { rect },
-    )
-    .unwrap();
+    let report = range_query(&mut net, ids[3], voronet::workloads::RangeQuery { rect }).unwrap();
     println!(
         "range query over the centre square: {} matches, {} objects visited, {} flood messages",
         report.matches.len(),

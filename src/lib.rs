@@ -12,9 +12,9 @@
 //! | [`geom`] | robust predicates, incremental Delaunay/Voronoi |
 //! | [`stats`] | histograms, regressions, series export |
 //! | [`workloads`] | object distributions and query generators |
-//! | [`sim`] | discrete-event scheduler, traffic accounting |
+//! | [`sim`] | discrete-event scheduler, per-node async runtime, network models, traffic accounting |
 //! | [`smallworld`] | Kleinberg grid baseline |
-//! | [`core`] | the VoroNet overlay itself |
+//! | [`core`] | the VoroNet overlay itself, plus its message-driven execution |
 //!
 //! ```
 //! use voronet::prelude::*;

@@ -23,7 +23,8 @@ fn check_queries(dist: Distribution, seed: u64) {
         let from = ids[qg.object_index(ids.len())];
         let got = range_query(&mut net, from, rq).unwrap();
         assert_eq!(
-            got.matches, expected,
+            got.matches,
+            expected,
             "{} range query #{trial} mismatch",
             dist.label()
         );
@@ -37,7 +38,8 @@ fn check_queries(dist: Distribution, seed: u64) {
         expected.sort_unstable();
         let got = radius_query(&mut net, from, dq).unwrap();
         assert_eq!(
-            got.matches, expected,
+            got.matches,
+            expected,
             "{} radius query #{trial} mismatch",
             dist.label()
         );
@@ -70,12 +72,7 @@ fn whole_domain_query_returns_everything() {
     let n = 300;
     let cfg = VoroNetConfig::new(n).with_seed(8);
     let (mut net, ids) = build_overlay(Distribution::Uniform, n, cfg);
-    let report = range_query(
-        &mut net,
-        ids[0],
-        RangeQuery { rect: Rect::UNIT },
-    )
-    .unwrap();
+    let report = range_query(&mut net, ids[0], RangeQuery { rect: Rect::UNIT }).unwrap();
     assert_eq!(report.matches.len(), n);
     assert_eq!(report.visited, n);
 

@@ -29,7 +29,11 @@ fn degree_distribution_is_centred_on_six_for_all_distributions() {
             h.mean()
         );
         // Planarity bounds the tail sharply: nothing close to linear degree.
-        assert!(h.max().unwrap() < 30, "{}: unexpected huge degree", dist.label());
+        assert!(
+            h.max().unwrap() < 30,
+            "{}: unexpected huge degree",
+            dist.label()
+        );
     }
 }
 

@@ -1,55 +1,71 @@
-//! Property-based tests (proptest) on the geometric substrate and the
-//! overlay invariants.
+//! Property-based tests on the geometric substrate and the overlay
+//! invariants.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! crates.io access, so the same properties are exercised with hand-rolled
+//! seeded case generation (48 cases per property, like the original
+//! `ProptestConfig::with_cases(48)`).  Coordinates are drawn either from a
+//! coarse 64×64 lattice — so that duplicate, collinear and co-circular
+//! configurations appear frequently (the degenerate cases the exact
+//! predicates must survive) — or as arbitrary floats in the unit square.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use voronet::prelude::*;
 use voronet_core::VoroNetConfig;
 use voronet_geom::hull::{convex_hull, delaunay_edges_bruteforce};
 use voronet_geom::{orient2d, Orientation};
 
-/// Strategy: coordinates on a coarse lattice, so that duplicate, collinear
-/// and co-circular configurations are generated frequently (the degenerate
-/// cases the exact predicates must survive).
-fn lattice_points(max_len: usize) -> impl Strategy<Value = Vec<Point2>> {
-    vec((0u32..64, 0u32..64), 1..max_len).prop_map(|pts| {
-        pts.into_iter()
-            .map(|(x, y)| Point2::new(x as f64 / 64.0, y as f64 / 64.0))
-            .collect()
-    })
+const CASES: u64 = 48;
+
+fn lattice_points(rng: &mut StdRng, max_len: usize) -> Vec<Point2> {
+    let len = rng.random_range(1..max_len);
+    (0..len)
+        .map(|_| {
+            Point2::new(
+                rng.random_range(0..64u32) as f64 / 64.0,
+                rng.random_range(0..64u32) as f64 / 64.0,
+            )
+        })
+        .collect()
 }
 
-/// Strategy: arbitrary f64 points in the unit square.
-fn float_points(max_len: usize) -> impl Strategy<Value = Vec<Point2>> {
-    vec((0.0f64..1.0, 0.0f64..1.0), 1..max_len)
-        .prop_map(|pts| pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+fn float_points(rng: &mut StdRng, max_len: usize) -> Vec<Point2> {
+    let len = rng.random_range(1..max_len);
+    (0..len)
+        .map(|_| Point2::new(rng.random::<f64>(), rng.random::<f64>()))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The incremental triangulation stays structurally valid and Delaunay
-    /// for arbitrary (including degenerate) insertion sequences.
-    #[test]
-    fn triangulation_valid_after_lattice_insertions(pts in lattice_points(60)) {
+/// The incremental triangulation stays structurally valid and Delaunay for
+/// arbitrary (including degenerate) insertion sequences.
+#[test]
+fn triangulation_valid_after_lattice_insertions() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7A11 + case);
+        let pts = lattice_points(&mut rng, 60);
         let mut tri = Triangulation::unit_square();
         let mut inserted = 0usize;
         for p in &pts {
             match tri.insert(*p) {
                 Ok(_) => inserted += 1,
                 Err(voronet_geom::InsertError::Duplicate(_)) => {}
-                Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+                Err(e) => panic!("case {case}: unexpected error {e}"),
             }
         }
-        prop_assert_eq!(tri.len(), inserted);
-        prop_assert!(tri.euler_check());
-        prop_assert!(tri.validate().is_ok(), "{:?}", tri.validate());
+        assert_eq!(tri.len(), inserted, "case {case}");
+        assert!(tri.euler_check(), "case {case}");
+        assert!(tri.validate().is_ok(), "case {case}: {:?}", tri.validate());
     }
+}
 
-    /// Inserting then removing every point returns the triangulation to its
-    /// empty state, whatever the order.
-    #[test]
-    fn triangulation_insert_remove_roundtrip(pts in float_points(40)) {
+/// Inserting then removing every point returns the triangulation to its
+/// empty state, whatever the order.
+#[test]
+fn triangulation_insert_remove_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB0B + case);
+        let pts = float_points(&mut rng, 40);
         let mut tri = Triangulation::unit_square();
         let mut ids = Vec::new();
         for p in &pts {
@@ -57,18 +73,22 @@ proptest! {
                 ids.push(v);
             }
         }
-        // Remove in reverse insertion order.
         for &v in ids.iter().rev() {
-            prop_assert!(tri.remove(v).is_ok());
+            assert!(tri.remove(v).is_ok(), "case {case}");
         }
-        prop_assert!(tri.is_empty());
-        prop_assert_eq!(tri.num_triangles(), 2);
-        prop_assert!(tri.validate().is_ok());
+        assert!(tri.is_empty(), "case {case}");
+        assert_eq!(tri.num_triangles(), 2, "case {case}");
+        assert!(tri.validate().is_ok(), "case {case}");
     }
+}
 
-    /// The greedy nearest-vertex walk agrees with a brute-force scan.
-    #[test]
-    fn nearest_vertex_matches_bruteforce(pts in float_points(40), qx in 0.0f64..1.0, qy in 0.0f64..1.0) {
+/// The greedy nearest-vertex walk agrees with a brute-force scan.
+#[test]
+fn nearest_vertex_matches_bruteforce() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4EA3 + case);
+        let pts = float_points(&mut rng, 40);
+        let q = Point2::new(rng.random::<f64>(), rng.random::<f64>());
         let mut tri = Triangulation::unit_square();
         let mut ids = Vec::new();
         for p in &pts {
@@ -76,26 +96,38 @@ proptest! {
                 ids.push(v);
             }
         }
-        prop_assume!(!ids.is_empty());
-        let q = Point2::new(qx, qy);
+        if ids.is_empty() {
+            continue;
+        }
         let found = tri.nearest_vertex(q).unwrap();
         let best = ids
             .iter()
             .map(|&v| tri.point(v).distance2(q))
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((tri.point(found).distance2(q) - best).abs() < 1e-15);
+        assert!(
+            (tri.point(found).distance2(q) - best).abs() < 1e-15,
+            "case {case}"
+        );
     }
+}
 
-    /// Interior Delaunay edges found incrementally match the brute-force
-    /// empty-circle oracle (hull edges may differ because of the sentinel
-    /// box; see DESIGN.md).
-    #[test]
-    fn incremental_interior_edges_are_delaunay(pts in float_points(26)) {
-        prop_assume!(pts.len() >= 4);
+/// Interior Delaunay edges found incrementally match the brute-force
+/// empty-circle oracle (hull edges may differ because of the sentinel box;
+/// see DESIGN.md).
+#[test]
+fn incremental_interior_edges_are_delaunay() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDE1A + case);
+        let pts = float_points(&mut rng, 26);
+        if pts.len() < 4 {
+            continue;
+        }
         let mut dedup = pts.clone();
         dedup.sort_by(|a, b| a.lex_cmp(b));
         dedup.dedup_by(|a, b| a.x == b.x && a.y == b.y);
-        prop_assume!(dedup.len() >= 4);
+        if dedup.len() < 4 {
+            continue;
+        }
 
         let hull = convex_hull(&dedup);
         let is_hull = |p: Point2| hull.iter().any(|&h| h.x == p.x && h.y == p.y);
@@ -107,39 +139,51 @@ proptest! {
             if is_hull(dedup[i]) || is_hull(dedup[j]) {
                 continue;
             }
-            prop_assert!(
+            assert!(
                 tri.are_neighbors(ids[i], ids[j]),
-                "missing interior Delaunay edge between {} and {}",
+                "case {case}: missing interior Delaunay edge between {} and {}",
                 dedup[i],
                 dedup[j]
             );
         }
     }
+}
 
-    /// Convex hull output is convex and contains every input point.
-    #[test]
-    fn convex_hull_is_convex_superset(pts in float_points(50)) {
+/// Convex hull output is convex and contains every input point.
+#[test]
+fn convex_hull_is_convex_superset() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE + case);
+        let pts = float_points(&mut rng, 50);
         let hull = convex_hull(&pts);
-        prop_assume!(hull.len() >= 3);
+        if hull.len() < 3 {
+            continue;
+        }
         let n = hull.len();
         for i in 0..n {
             let a = hull[i];
             let b = hull[(i + 1) % n];
-            prop_assert_eq!(orient2d(a, b, hull[(i + 2) % n]), Orientation::Positive);
+            assert_eq!(
+                orient2d(a, b, hull[(i + 2) % n]),
+                Orientation::Positive,
+                "case {case}"
+            );
             for &p in &pts {
-                prop_assert!(orient2d(a, b, p) != Orientation::Negative);
+                assert!(orient2d(a, b, p) != Orientation::Negative, "case {case}");
             }
         }
     }
+}
 
-    /// Overlay invariants (close neighbours exact, long links owned,
-    /// back-links mirrored) hold after an arbitrary batch of insertions
-    /// followed by a prefix of removals.
-    #[test]
-    fn overlay_invariants_random_build_and_partial_teardown(
-        pts in float_points(30),
-        remove_count in 0usize..20,
-    ) {
+/// Overlay invariants (close neighbours exact, long links owned, back-links
+/// mirrored) hold after an arbitrary batch of insertions followed by a
+/// prefix of removals.
+#[test]
+fn overlay_invariants_random_build_and_partial_teardown() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1EA5 + case);
+        let pts = float_points(&mut rng, 30);
+        let remove_count = rng.random_range(0..20usize);
         let cfg = VoroNetConfig::new(40).with_long_links(2).with_seed(99);
         let mut net = VoroNet::new(cfg);
         let mut ids = Vec::new();
@@ -149,19 +193,24 @@ proptest! {
             }
         }
         for &id in ids.iter().take(remove_count.min(ids.len())) {
-            prop_assert!(net.remove(id).is_ok());
+            assert!(net.remove(id).is_ok(), "case {case}");
         }
-        prop_assert!(net.check_invariants(true).is_ok(), "{:?}", net.check_invariants(true));
-        prop_assert!(net.triangulation().validate().is_ok());
+        assert!(
+            net.check_invariants(true).is_ok(),
+            "case {case}: {:?}",
+            net.check_invariants(true)
+        );
+        assert!(net.triangulation().validate().is_ok(), "case {case}");
     }
+}
 
-    /// Greedy routing always terminates at the owner of the target region.
-    #[test]
-    fn greedy_routing_terminates_at_owner(
-        pts in float_points(30),
-        qx in 0.0f64..1.0,
-        qy in 0.0f64..1.0,
-    ) {
+/// Greedy routing always terminates at the owner of the target region.
+#[test]
+fn greedy_routing_terminates_at_owner() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x60A1 + case);
+        let pts = float_points(&mut rng, 30);
+        let q = Point2::new(rng.random::<f64>(), rng.random::<f64>());
         let cfg = VoroNetConfig::new(40).with_seed(5);
         let mut net = VoroNet::new(cfg);
         let mut ids = Vec::new();
@@ -170,11 +219,12 @@ proptest! {
                 ids.push(r.id);
             }
         }
-        prop_assume!(ids.len() >= 2);
-        let q = Point2::new(qx, qy);
+        if ids.len() < 2 {
+            continue;
+        }
         let expected = net.owner_of(q).unwrap();
         let got = net.route_to_point(ids[0], q).unwrap();
-        prop_assert_eq!(got.owner, expected);
-        prop_assert_eq!(got.path.len() as u32, got.hops + 1);
+        assert_eq!(got.owner, expected, "case {case}");
+        assert_eq!(got.path.len() as u32, got.hops + 1, "case {case}");
     }
 }

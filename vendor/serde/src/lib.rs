@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, and nothing in the
+//! workspace actually serializes data — the `#[derive(Serialize,
+//! Deserialize)]` attributes only mark value types as serializable for
+//! downstream users.  This crate keeps those attributes compiling: the
+//! derives (from the vendored no-op `serde_derive`) expand to nothing, and
+//! the trait names exist as empty markers.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

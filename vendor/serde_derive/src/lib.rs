@@ -1,0 +1,20 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io.  Serialization is not on
+//! any code path of the reproduction (the derives only decorate value types
+//! so that downstream users *could* serialize them), so the derive macros
+//! here accept the same syntax and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
