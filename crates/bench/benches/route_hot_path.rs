@@ -1,0 +1,132 @@
+//! The routing hot path over a pre-built 10,000-node overlay: greedy
+//! (`route_to_point_into`, the allocation-free caller-buffer form) and
+//! Algorithm 5 (`algorithm5_route`), measuring pure per-route cost with no
+//! overlay construction in the timed region.
+//!
+//! Besides the Criterion console output, the bench records its measurements
+//! to `BENCH_routes.json` at the workspace root so successive runs can be
+//! diffed.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+use voronet_core::experiments::build_overlay;
+use voronet_core::{algorithm5_route, ObjectId, VoroNet, VoroNetConfig};
+use voronet_workloads::Distribution;
+
+const OVERLAY_SIZE: usize = 10_000;
+const PAIRS: usize = 256;
+
+fn build() -> (VoroNet, Vec<ObjectId>) {
+    let cfg = VoroNetConfig::new(OVERLAY_SIZE).with_seed(2006);
+    build_overlay(Distribution::Uniform, OVERLAY_SIZE, cfg)
+}
+
+fn sample_pairs(ids: &[ObjectId], n: usize, seed: u64) -> Vec<(ObjectId, ObjectId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(n);
+    while pairs.len() < n {
+        let a = ids[rng.random_range(0..ids.len())];
+        let b = ids[rng.random_range(0..ids.len())];
+        if a != b {
+            pairs.push((a, b));
+        }
+    }
+    pairs
+}
+
+fn route_hot_path(c: &mut Criterion) {
+    let (mut net, ids) = build();
+    let pairs = sample_pairs(&ids, PAIRS, 42);
+    let mut group = c.benchmark_group("route_hot_path");
+    group.sample_size(10);
+
+    // Greedy walk through the caller-buffer path: after the first route the
+    // buffer has warmed up and every hop is a borrowed-view scan — no heap
+    // allocation in the loop.
+    let mut path: Vec<ObjectId> = Vec::with_capacity(64);
+    group.bench_function(BenchmarkId::new("greedy_into", OVERLAY_SIZE), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (a, t) = pairs[i % pairs.len()];
+            i += 1;
+            let target = net.coords(t).expect("pair endpoints are live");
+            black_box(
+                net.route_to_point_into(a, target, &mut path)
+                    .expect("route between live objects"),
+            )
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("algorithm5", OVERLAY_SIZE), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (a, t) = pairs[i % pairs.len()];
+            i += 1;
+            let target = net.coords(t).expect("pair endpoints are live");
+            black_box(algorithm5_route(&net, a, target).expect("route between live objects"))
+        });
+    });
+
+    group.finish();
+
+    record_json(&mut net, &pairs);
+}
+
+/// One timed pass per mode, appended to `BENCH_routes.json` (overwritten
+/// each run) so routing regressions are diffable without parsing console
+/// output.
+fn record_json(net: &mut VoroNet, pairs: &[(ObjectId, ObjectId)]) {
+    let mut path: Vec<ObjectId> = Vec::with_capacity(64);
+    // Warm-up (buffers + branch predictors), then measure.
+    for &(a, t) in pairs {
+        let target = net.coords(t).expect("live");
+        net.route_to_point_into(a, target, &mut path)
+            .expect("route");
+    }
+
+    let start = Instant::now();
+    let mut greedy_hops = 0u64;
+    for &(a, t) in pairs {
+        let target = net.coords(t).expect("live");
+        let (_, hops) = net
+            .route_to_point_into(a, target, &mut path)
+            .expect("route");
+        greedy_hops += hops as u64;
+    }
+    let greedy_ns = start.elapsed().as_nanos() as f64 / pairs.len() as f64;
+
+    let start = Instant::now();
+    let mut alg5_hops = 0u64;
+    for &(a, t) in pairs {
+        let target = net.coords(t).expect("live");
+        alg5_hops += algorithm5_route(net, a, target)
+            .expect("route")
+            .forwarding_hops as u64;
+    }
+    let alg5_ns = start.elapsed().as_nanos() as f64 / pairs.len() as f64;
+
+    let json = format!(
+        "{{\n  \"overlay_size\": {},\n  \"pairs\": {},\n  \"greedy_into\": {{ \"mean_ns_per_route\": {:.1}, \"mean_hops\": {:.2} }},\n  \"algorithm5\": {{ \"mean_ns_per_route\": {:.1}, \"mean_forwarding_hops\": {:.2} }}\n}}\n",
+        OVERLAY_SIZE,
+        pairs.len(),
+        greedy_ns,
+        greedy_hops as f64 / pairs.len() as f64,
+        alg5_ns,
+        alg5_hops as f64 / pairs.len() as f64,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routes.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("could not write {out}: {e}");
+    } else {
+        println!("recorded route_hot_path results to {out}");
+    }
+}
+
+criterion_group!(benches, route_hot_path);
+
+fn main() {
+    benches();
+}

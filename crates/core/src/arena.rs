@@ -1,0 +1,371 @@
+//! Dense, generation-indexed storage of per-node protocol state.
+//!
+//! Every live object of a [`crate::VoroNet`] owns one [`NodeSlot`] in a
+//! [`NodeArena`]: its attribute coordinates, its triangulation vertex, the
+//! close-neighbour set `cn(o)`, the long-range links `LRn(o)`, the
+//! back-long-range pointers `BLRn(o)` and a per-node traffic counter.  The
+//! arena replaces the former `HashMap<ObjectId, ObjectState>`:
+//!
+//! * slots live in one flat `Vec` (slab-style, recycled through a free
+//!   list), so iterating all nodes is a linear scan and a slot access from a
+//!   [`NodeIndex`] is two array reads — no hashing on the hot path;
+//! * each slot carries a *generation* that is bumped on recycling, so a
+//!   stale [`NodeIndex`] held across a departure can never alias the node
+//!   that reused the slot;
+//! * a dense id list maintains the overlay's O(1) uniform-sampling order
+//!   (swap-remove on departure, exactly the order the pre-arena
+//!   implementation used, so seeded runs replay bit-for-bit).
+//!
+//! The arena is shared between the synchronous overlay and the asynchronous
+//! runtime ([`crate::runtime::AsyncOverlay`]): both read the same slots, the
+//! former through [`crate::object::ViewRef`] borrows, the latter when it
+//! refreshes a replica at a `NeighborUpdate` boundary.
+
+use crate::object::{BackLink, LongLink, ObjectId};
+use std::collections::{BTreeSet, HashMap};
+use voronet_geom::{Point2, VertexId};
+
+/// Generation-tagged handle of a node slot in a [`NodeArena`].
+///
+/// A `NodeIndex` stays valid for exactly as long as the node it was taken
+/// for is live: after the node departs, the slot's generation moves on and
+/// the index resolves to `None` (never to a different node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeIndex {
+    idx: u32,
+    generation: u32,
+}
+
+impl NodeIndex {
+    /// Position of the slot in the arena's backing storage.
+    pub fn slot(&self) -> usize {
+        self.idx as usize
+    }
+
+    /// Generation of the slot this index was taken at.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+/// Per-node protocol state owned by the arena (Section 3.1 of the paper,
+/// minus the Voronoi neighbours, which are derived from the shared
+/// tessellation).
+#[derive(Debug, Clone)]
+pub struct NodeSlot {
+    /// The object this slot belongs to.
+    pub(crate) id: ObjectId,
+    /// Triangulation vertex currently representing the object.
+    pub(crate) vertex: VertexId,
+    /// Attribute coordinates (immutable for the lifetime of the object).
+    pub(crate) coords: Point2,
+    /// Close neighbours: objects within `d_min` (symmetric relation).
+    pub(crate) close: BTreeSet<ObjectId>,
+    /// Long-range links (length = `config.long_links` once established).
+    pub(crate) long: Vec<LongLink>,
+    /// Back-long-range pointers: links of other objects whose target falls
+    /// in this object's region.
+    pub(crate) back_long: Vec<BackLink>,
+    /// Protocol messages sent by this node while live (a per-node O(1)
+    /// mirror of the global `TrafficStats`; departed nodes take their
+    /// counter with them).
+    pub(crate) sent: u64,
+    /// Position in the dense sampling order.
+    dense_pos: u32,
+}
+
+impl NodeSlot {
+    pub(crate) fn new(id: ObjectId, vertex: VertexId, coords: Point2) -> Self {
+        NodeSlot {
+            id,
+            vertex,
+            coords,
+            close: BTreeSet::new(),
+            long: Vec::new(),
+            back_long: Vec::new(),
+            sent: 0,
+            dense_pos: 0,
+        }
+    }
+
+    /// The object this slot belongs to.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Attribute coordinates of the object.
+    pub fn coords(&self) -> Point2 {
+        self.coords
+    }
+
+    /// Triangulation vertex currently representing the object.
+    pub fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// Close neighbours `cn(o)`.
+    pub fn close(&self) -> &BTreeSet<ObjectId> {
+        &self.close
+    }
+
+    /// Long-range links `LRn(o)`.
+    pub fn long(&self) -> &[LongLink] {
+        &self.long
+    }
+
+    /// Back-long-range pointers `BLRn(o)`.
+    pub fn back_long(&self) -> &[BackLink] {
+        &self.back_long
+    }
+
+    /// Protocol messages sent by this node while live.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    generation: u32,
+    node: Option<NodeSlot>,
+}
+
+/// Slab-style arena of per-node protocol state with an `ObjectId → index`
+/// map and a dense sampling order.  See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct NodeArena {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    lookup: HashMap<ObjectId, u32>,
+    /// Dense list of live ids: push on join, swap-remove on departure.
+    order: Vec<ObjectId>,
+}
+
+impl NodeArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the arena holds no node.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// True when `id` is a live node.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.lookup.contains_key(&id)
+    }
+
+    /// The generation-tagged index of a live node (`None` otherwise).
+    pub fn index_of(&self, id: ObjectId) -> Option<NodeIndex> {
+        let &idx = self.lookup.get(&id)?;
+        Some(NodeIndex {
+            idx,
+            generation: self.entries[idx as usize].generation,
+        })
+    }
+
+    /// The `pos`-th live node in dense sampling order (`pos < len()`).  The
+    /// order is deterministic for a given operation sequence but changes on
+    /// removals (swap-remove).
+    pub fn id_at(&self, pos: usize) -> Option<ObjectId> {
+        self.order.get(pos).copied()
+    }
+
+    /// Iterator over live ids in dense sampling order.
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Protocol messages sent by a live node (`None` for unknown nodes).
+    pub fn sent_by(&self, id: ObjectId) -> Option<u64> {
+        self.get(id).map(|s| s.sent)
+    }
+
+    /// Read access to a live node's slot.
+    pub fn get(&self, id: ObjectId) -> Option<&NodeSlot> {
+        let &idx = self.lookup.get(&id)?;
+        self.entries[idx as usize].node.as_ref()
+    }
+
+    /// Read access through a generation-tagged index: `None` when the node
+    /// departed (even if the slot was since recycled).
+    pub fn get_at(&self, index: NodeIndex) -> Option<&NodeSlot> {
+        let entry = self.entries.get(index.slot())?;
+        if entry.generation != index.generation {
+            return None;
+        }
+        entry.node.as_ref()
+    }
+
+    pub(crate) fn get_mut(&mut self, id: ObjectId) -> Option<&mut NodeSlot> {
+        let &idx = self.lookup.get(&id)?;
+        self.entries[idx as usize].node.as_mut()
+    }
+
+    /// Iterator over all live slots, in slot (allocation) order.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeSlot> + '_ {
+        self.entries.iter().filter_map(|e| e.node.as_ref())
+    }
+
+    /// Bumps the per-node sent counter (no-op for departed nodes).
+    pub(crate) fn bump_sent(&mut self, id: ObjectId) {
+        if let Some(slot) = self.get_mut(id) {
+            slot.sent += 1;
+        }
+    }
+
+    /// Inserts a node, returning its generation-tagged index.
+    ///
+    /// # Panics
+    /// Panics if `slot.id` is already live (object ids are never reused).
+    pub(crate) fn insert(&mut self, mut slot: NodeSlot) -> NodeIndex {
+        let id = slot.id;
+        slot.dense_pos = self.order.len() as u32;
+        self.order.push(id);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let entry = &mut self.entries[idx as usize];
+                debug_assert!(entry.node.is_none());
+                entry.node = Some(slot);
+                idx
+            }
+            None => {
+                self.entries.push(Entry {
+                    generation: 0,
+                    node: Some(slot),
+                });
+                (self.entries.len() - 1) as u32
+            }
+        };
+        let previous = self.lookup.insert(id, idx);
+        assert!(previous.is_none(), "object ids are never reused");
+        NodeIndex {
+            idx,
+            generation: self.entries[idx as usize].generation,
+        }
+    }
+
+    /// Removes a node, returning its state.  The slot's generation is bumped
+    /// so outstanding [`NodeIndex`] handles go stale, and the dense order is
+    /// patched by swap-remove.
+    pub(crate) fn remove(&mut self, id: ObjectId) -> Option<NodeSlot> {
+        let idx = self.lookup.remove(&id)?;
+        let entry = &mut self.entries[idx as usize];
+        let slot = entry.node.take().expect("lookup entries are live");
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(idx);
+        let pos = slot.dense_pos as usize;
+        self.order.swap_remove(pos);
+        if pos < self.order.len() {
+            let moved = self.order[pos];
+            let moved_idx = self.lookup[&moved] as usize;
+            self.entries[moved_idx]
+                .node
+                .as_mut()
+                .expect("dense order only holds live nodes")
+                .dense_pos = pos as u32;
+        }
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(id: u64) -> NodeSlot {
+        NodeSlot::new(
+            ObjectId(id),
+            id as VertexId + 4,
+            Point2::new(id as f64 * 0.01, 0.5),
+        )
+    }
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut arena = NodeArena::new();
+        assert!(arena.is_empty());
+        let ia = arena.insert(slot(0));
+        let ib = arena.insert(slot(1));
+        assert_eq!(arena.len(), 2);
+        assert!(arena.contains(ObjectId(0)));
+        assert_eq!(arena.get(ObjectId(1)).unwrap().vertex(), 5);
+        assert_eq!(arena.get_at(ia).unwrap().id(), ObjectId(0));
+        assert_eq!(arena.index_of(ObjectId(1)), Some(ib));
+
+        let removed = arena.remove(ObjectId(0)).unwrap();
+        assert_eq!(removed.id(), ObjectId(0));
+        assert!(!arena.contains(ObjectId(0)));
+        assert!(arena.remove(ObjectId(0)).is_none());
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn stale_indices_never_alias_recycled_slots() {
+        let mut arena = NodeArena::new();
+        let ia = arena.insert(slot(0));
+        arena.remove(ObjectId(0)).unwrap();
+        assert!(arena.get_at(ia).is_none(), "index must die with its node");
+        // The freed slot is recycled by the next insertion...
+        let ib = arena.insert(slot(7));
+        assert_eq!(ib.slot(), ia.slot());
+        assert_ne!(ib.generation(), ia.generation());
+        // ...and the stale index still resolves to nothing.
+        assert!(arena.get_at(ia).is_none());
+        assert_eq!(arena.get_at(ib).unwrap().id(), ObjectId(7));
+    }
+
+    #[test]
+    fn dense_order_swap_removes_like_a_vec() {
+        let mut arena = NodeArena::new();
+        for i in 0..5 {
+            arena.insert(slot(i));
+        }
+        // Mirror of the expected order bookkeeping.
+        let mut mirror: Vec<u64> = (0..5).collect();
+        for &victim in &[1u64, 4, 0] {
+            let pos = mirror.iter().position(|&x| x == victim).unwrap();
+            mirror.swap_remove(pos);
+            arena.remove(ObjectId(victim)).unwrap();
+            let got: Vec<u64> = arena.ids().map(|o| o.0).collect();
+            assert_eq!(got, mirror);
+            for (pos, &id) in mirror.iter().enumerate() {
+                assert_eq!(arena.id_at(pos), Some(ObjectId(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn sent_counters_live_with_the_node() {
+        let mut arena = NodeArena::new();
+        arena.insert(slot(3));
+        arena.bump_sent(ObjectId(3));
+        arena.bump_sent(ObjectId(3));
+        arena.bump_sent(ObjectId(99)); // unknown: no-op
+        assert_eq!(arena.sent_by(ObjectId(3)), Some(2));
+        assert_eq!(arena.sent_by(ObjectId(99)), None);
+        arena.remove(ObjectId(3)).unwrap();
+        assert_eq!(arena.sent_by(ObjectId(3)), None);
+    }
+
+    #[test]
+    fn iter_visits_every_live_slot_once() {
+        let mut arena = NodeArena::new();
+        for i in 0..10 {
+            arena.insert(slot(i));
+        }
+        for i in (0..10).step_by(2) {
+            arena.remove(ObjectId(i)).unwrap();
+        }
+        let mut seen: Vec<u64> = arena.iter().map(|s| s.id().0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+    }
+}

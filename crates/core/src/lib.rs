@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod dynamic;
 pub mod experiments;
@@ -41,9 +42,10 @@ pub mod protocol;
 pub mod queries;
 pub mod runtime;
 
+pub use arena::{NodeArena, NodeIndex, NodeSlot};
 pub use config::{DminRule, VoroNetConfig};
 pub use dynamic::{adapt_nmax, AdaptationPolicy, AdaptationReport, RefreshStrategy};
-pub use object::{BackLink, LinkIndex, LongLink, ObjectId, ObjectView};
+pub use object::{BackLink, LinkIndex, LongLink, ObjectId, ObjectView, ViewRef};
 pub use overlay::{JoinError, JoinReport, LeaveReport, OverlayError, RouteReport, VoroNet};
 pub use protocol::{algorithm5_route, Algorithm5Report, StopReason};
 pub use queries::{radius_query, range_query, segment_query, AreaQueryReport, SegmentQueryReport};

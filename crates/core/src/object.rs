@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use voronet_geom::{Point2, VertexId};
+use voronet_geom::{Point2, Triangulation, VertexId};
 
 /// Stable application-level identifier of a published object.
 ///
@@ -46,20 +46,95 @@ pub struct BackLink {
     pub target: Point2,
 }
 
-/// Internal per-object protocol state.
-#[derive(Debug, Clone)]
-pub(crate) struct ObjectState {
-    /// Triangulation vertex currently representing the object.
-    pub vertex: VertexId,
-    /// Attribute coordinates (the object identifier in the attribute space).
-    pub coords: Point2,
-    /// Close neighbours: objects within `d_min` (symmetric relation).
-    pub close: BTreeSet<ObjectId>,
-    /// Long-range links (length = `config.long_links`).
-    pub long: Vec<LongLink>,
-    /// Back-long-range pointers: links of other objects whose target falls
-    /// in this object's region.
-    pub back_long: Vec<BackLink>,
+/// Borrowed, zero-copy view of an object's protocol state — the hot-path
+/// counterpart of [`ObjectView`].
+///
+/// A `ViewRef` borrows straight out of the overlay's
+/// [`crate::arena::NodeArena`] and the shared tessellation: the close
+/// neighbours, long links and back links are references into the node's
+/// slot, and the Voronoi neighbours are produced lazily by walking the
+/// Delaunay fan.  Routing ([`crate::VoroNet::route_to_point`], the
+/// Algorithm 5 loop) iterates a `ViewRef` and allocates nothing; build an
+/// owned [`ObjectView`] (via [`ViewRef::to_view`]) only at a serialization
+/// or runtime-message boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewRef<'a> {
+    pub(crate) id: ObjectId,
+    pub(crate) coords: Point2,
+    pub(crate) vertex: VertexId,
+    pub(crate) close: &'a BTreeSet<ObjectId>,
+    pub(crate) long: &'a [LongLink],
+    pub(crate) back_long: &'a [BackLink],
+    pub(crate) tri: &'a Triangulation,
+    pub(crate) vertex_obj: &'a [Option<ObjectId>],
+}
+
+impl<'a> ViewRef<'a> {
+    /// The object described.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Its attribute coordinates.
+    pub fn coords(&self) -> Point2 {
+        self.coords
+    }
+
+    /// Voronoi neighbours `vn(o)`, derived lazily from the shared
+    /// tessellation (no allocation).
+    pub fn voronoi_neighbours(&self) -> impl Iterator<Item = ObjectId> + 'a {
+        let vertex_obj = self.vertex_obj;
+        self.tri
+            .real_neighbors_iter(self.vertex)
+            .filter_map(move |v| vertex_obj.get(v as usize).copied().flatten())
+    }
+
+    /// Close neighbours `cn(o)`.
+    pub fn close_neighbours(&self) -> &'a BTreeSet<ObjectId> {
+        self.close
+    }
+
+    /// Long-range links `LRn(o)`.
+    pub fn long_links(&self) -> &'a [LongLink] {
+        self.long
+    }
+
+    /// Back-long-range pointers `BLRn(o)`.
+    pub fn back_long_links(&self) -> &'a [BackLink] {
+        self.back_long
+    }
+
+    /// All neighbours usable for greedy routing: `vn ∪ cn ∪ LRn` (never
+    /// `BLRn`), without allocation.  Unlike
+    /// [`ObjectView::routing_neighbours`] the sequence is neither sorted nor
+    /// deduplicated — greedy minimisation is insensitive to both.
+    pub fn routing_neighbours(&self) -> impl Iterator<Item = ObjectId> + 'a {
+        self.voronoi_neighbours()
+            .chain(self.close.iter().copied())
+            .chain(self.long.iter().map(|l| l.neighbour))
+    }
+
+    /// Total view size: the number of entries this object must store
+    /// (the O(1) claim of Section 4.1).
+    pub fn size(&self) -> usize {
+        self.voronoi_neighbours().count()
+            + self.close.len()
+            + self.long.len()
+            + self.back_long.len()
+    }
+
+    /// Materialises an owned [`ObjectView`] — the serialization / runtime
+    /// message boundary.
+    pub fn to_view(&self) -> ObjectView {
+        ObjectView {
+            id: self.id,
+            coords: self.coords,
+            voronoi_neighbours: self.voronoi_neighbours().collect(),
+            close_neighbours: self.close.iter().copied().collect(),
+            long_links: self.long.to_vec(),
+            back_long_links: self.back_long.to_vec(),
+        }
+    }
 }
 
 /// Public, read-only description of an object's view — the data structure

@@ -107,10 +107,11 @@ pub fn algorithm5_route(
         }
 
         // Greedyneighbour(Target): forward to the routing neighbour closest
-        // to the target.
+        // to the target, iterating the borrowed view (no per-hop
+        // allocation).
         let mut best = cur;
         let mut best_d = d_cur;
-        for n in routing_neighbours(net, cur)? {
+        for n in net.view_ref(cur)?.routing_neighbours() {
             if n == cur {
                 continue;
             }
@@ -145,13 +146,6 @@ pub fn algorithm5_route(
     })
 }
 
-fn routing_neighbours(net: &VoroNet, id: ObjectId) -> Result<Vec<ObjectId>, OverlayError> {
-    let mut out = net.voronoi_neighbours(id)?;
-    out.extend(net.close_neighbours(id)?);
-    out.extend(net.long_links(id)?.into_iter().map(|l| l.neighbour));
-    Ok(out)
-}
-
 fn resolve_owner_locally(
     net: &VoroNet,
     from: ObjectId,
@@ -166,7 +160,7 @@ fn resolve_owner_locally(
     loop {
         let mut best = cur;
         let mut best_d = cur_d;
-        for n in net.voronoi_neighbours(cur)? {
+        for n in net.view_ref(cur)?.voronoi_neighbours() {
             let d = net
                 .coords(n)
                 .expect("neighbours are live")

@@ -112,6 +112,7 @@ fn area_query(
     visited.insert(route.owner);
     let mut flood_messages = 0u64;
     let mut results = Vec::new();
+    let mut neighbours = Vec::new();
     while let Some(cur) = frontier.pop() {
         let coords = net.coords(cur).expect("visited objects are live");
         let touches = cell_touches_area(net, cur);
@@ -121,7 +122,8 @@ fn area_query(
         if !touches {
             continue;
         }
-        for n in net.voronoi_neighbours(cur)? {
+        net.voronoi_neighbours_into(cur, &mut neighbours)?;
+        for &n in &neighbours {
             if visited.insert(n) {
                 flood_messages += 1;
                 record_flood_message(net, cur);
@@ -174,12 +176,14 @@ pub fn segment_query(
     let mut frontier = vec![route.owner];
     visited.insert(route.owner);
     let mut flood_messages = 0u64;
+    let mut neighbours = Vec::new();
     while let Some(cur) = frontier.pop() {
         if !cell_intersects_segment(net, cur, a, b) {
             continue;
         }
         responsible.push(cur);
-        for n in net.voronoi_neighbours(cur)? {
+        net.voronoi_neighbours_into(cur, &mut neighbours)?;
+        for &n in &neighbours {
             if visited.insert(n) {
                 flood_messages += 1;
                 record_flood_message(net, cur);

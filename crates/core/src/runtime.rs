@@ -5,26 +5,34 @@
 //! [`VoroNet`] value — the right tool for reproducing the paper's figures,
 //! where only logical counts matter.  This module is the asynchronous
 //! counterpart: every live object becomes an independent state machine (a
-//! [`NodeState`] holding its own [`ObjectView`] plus the coordinates of the
-//! peers it knows), and every protocol step is a typed [`ProtocolMsg`]
-//! travelling through a [`Runtime`] under a pluggable [`NetworkModel`] —
-//! latency, loss and partition windows included.
+//! `NodeState` holding the view snapshot it captured at its last refresh,
+//! pre-flattened into a routing table), and every protocol step is a typed
+//! [`ProtocolMsg`] travelling through a [`Runtime`] under a pluggable
+//! [`NetworkModel`] — latency, loss and partition windows included.
 //!
 //! ## What is distributed and what is shared
 //!
-//! Routing decisions are made *purely from local state*: a node forwards a
-//! [`ProtocolMsg::RouteStep`] by inspecting its own cached view and peer
-//! coordinate table, nothing else.  Under message loss, views go stale and
-//! routes can dead-letter at departed nodes — exactly the failure modes a
-//! decentralised deployment would see.  Structural mutations
-//! (`AddVoronoiRegion` / `RemoveVoronoiRegion`) are applied to a shared
-//! authoritative tessellation once the triggering message *arrives* at the
-//! responsible node, standing in for the purely local Sugihara–Iri
-//! incremental construction of the paper; the resulting view changes then
-//! propagate to the affected nodes as [`ProtocolMsg::NeighborUpdate`]
-//! messages that are themselves subject to network conditions.  (The routing
-//! hops of long-link establishment are likewise folded into the join; see
-//! `JoinReport::long_link_hops` for the synchronous accounting.)
+//! The authoritative per-node state lives once, in the
+//! [`crate::arena::NodeArena`] shared with the synchronous overlay; replicas
+//! read through it only at *refresh boundaries* (spawn and
+//! [`ProtocolMsg::NeighborUpdate`] delivery), where the borrowed
+//! [`crate::ViewRef`] is materialised into the owned [`ObjectView`] snapshot
+//! that a real deployment would have received in the message body.  Routing
+//! decisions are made *purely from that local snapshot*: a node forwards a
+//! [`ProtocolMsg::RouteStep`] by scanning its flat `(peer, coords)` routing
+//! table — coordinates are immutable object identifiers, so inlining them
+//! is caching, not sharing — and allocates nothing per hop.  Under message
+//! loss, snapshots go stale and routes can dead-letter at departed nodes —
+//! exactly the failure modes a decentralised deployment would see.
+//! Structural mutations (`AddVoronoiRegion` / `RemoveVoronoiRegion`) are
+//! applied to the shared authoritative tessellation once the triggering
+//! message *arrives* at the responsible node, standing in for the purely
+//! local Sugihara–Iri incremental construction of the paper; the resulting
+//! view changes then propagate to the affected nodes as
+//! [`ProtocolMsg::NeighborUpdate`] messages that are themselves subject to
+//! network conditions.  (The routing hops of long-link establishment are
+//! likewise folded into the join; see `JoinReport::long_link_hops` for the
+//! synchronous accounting.)
 //!
 //! On a loss-free network at quiescence every cached view equals the
 //! authoritative view, and the message-driven greedy route takes the exact
@@ -131,13 +139,18 @@ pub enum RoutingMode {
     Algorithm5,
 }
 
-/// Per-node replica state: what this object knows locally.
+/// Per-node replica state: what this object knows locally — the snapshot it
+/// captured from the shared arena the last time a refresh reached it.
 #[derive(Debug, Clone)]
 struct NodeState {
+    /// Owned view snapshot (the `NeighborUpdate` message payload).
     view: ObjectView,
-    /// Coordinates of every peer named in the view (attribute coordinates
-    /// are immutable, so this table can only be incomplete, never wrong).
-    peers: HashMap<ObjectId, Point2>,
+    /// The view's routing neighbours (`vn ∪ cn ∪ LRn`, sorted, deduped)
+    /// flattened into one slice with each peer's coordinates inlined
+    /// (attribute coordinates are immutable, so the cache can only be
+    /// incomplete, never wrong).  `RouteStep` scans this without touching
+    /// the heap.
+    routing: Vec<(ObjectId, Point2)>,
 }
 
 /// Operation counters of one scenario execution.
@@ -494,19 +507,16 @@ impl AsyncOverlay {
             return;
         }
 
-        // Greedyneighbour(Target) over the cached local view.  The view's
-        // routing neighbours are sorted and deduplicated, so the choice is
-        // deterministic.
+        // Greedyneighbour(Target) over the cached routing table.  The table
+        // is sorted and deduplicated at refresh time, so the choice is
+        // deterministic — and the scan allocates nothing.
         let state = self.nodes.get(&cur.0).expect("checked above");
         let mut best = cur;
         let mut best_d = cur_d;
-        for nb in state.view.routing_neighbours() {
+        for &(nb, coords) in &state.routing {
             if nb == cur {
                 continue;
             }
-            let Some(coords) = state.peers.get(&nb) else {
-                continue; // Unknown coordinates: cannot evaluate this peer.
-            };
             let d = coords.distance2(target);
             if d < best_d {
                 best = nb;
@@ -553,7 +563,12 @@ impl AsyncOverlay {
         loop {
             let mut best = cur;
             let mut best_d = cur_d;
-            for n in self.net.voronoi_neighbours(cur).expect("live object") {
+            for n in self
+                .net
+                .view_ref(cur)
+                .expect("live object")
+                .voronoi_neighbours()
+            {
                 let d = self
                     .net
                     .coords(n)
@@ -669,43 +684,33 @@ impl AsyncOverlay {
     /// links it holds, and the targets of its long links.
     fn affected_by(&self, id: ObjectId) -> Vec<ObjectId> {
         let mut affected: BTreeSet<ObjectId> = BTreeSet::new();
-        if let Ok(vn) = self.net.voronoi_neighbours(id) {
-            affected.extend(vn);
-        }
-        if let Ok(cn) = self.net.close_neighbours(id) {
-            affected.extend(cn);
-        }
-        if let Ok(links) = self.net.long_links(id) {
-            affected.extend(links.into_iter().map(|l| l.neighbour));
-        }
-        if let Ok(back) = self.net.back_links(id) {
-            affected.extend(back.into_iter().map(|b| b.source));
+        if let Ok(vr) = self.net.view_ref(id) {
+            affected.extend(vr.voronoi_neighbours());
+            affected.extend(vr.close_neighbours().iter().copied());
+            affected.extend(vr.long_links().iter().map(|l| l.neighbour));
+            affected.extend(vr.back_long_links().iter().map(|b| b.source));
         }
         affected.remove(&id);
         affected.into_iter().collect()
     }
 
-    /// Pulls a fresh view (and the coordinates of everyone it names) from
-    /// the authoritative state into the replica of `id` — the content a
-    /// `NeighborUpdate` message carries.
+    /// Reads through the shared arena at a refresh boundary: materialises
+    /// the borrowed [`crate::ViewRef`] of `id` into the owned snapshot a
+    /// `NeighborUpdate` message carries, and flattens its routing
+    /// neighbours (with their immutable coordinates) into the replica's
+    /// scan table.
     fn refresh_view(&mut self, id: ObjectId) {
-        let Ok(view) = self.net.view(id) else {
+        let Ok(vr) = self.net.view_ref(id) else {
             return; // The object is gone; a stale update arrived late.
         };
-        let mut peers = HashMap::new();
-        for nb in view
-            .voronoi_neighbours
-            .iter()
-            .chain(view.close_neighbours.iter())
-            .copied()
-            .chain(view.long_links.iter().map(|l| l.neighbour))
-            .chain(view.back_long_links.iter().map(|b| b.source))
-        {
+        let view = vr.to_view();
+        let mut routing = Vec::new();
+        for nb in view.routing_neighbours() {
             if let Some(c) = self.net.coords(nb) {
-                peers.insert(nb, c);
+                routing.push((nb, c));
             }
         }
-        self.nodes.insert(id.0, NodeState { view, peers });
+        self.nodes.insert(id.0, NodeState { view, routing });
     }
 
     // ------------------------------------------------------------------
@@ -772,10 +777,12 @@ mod tests {
             let fresh = ov.net.view(id).unwrap();
             assert_eq!(replica.view.voronoi_neighbours, fresh.voronoi_neighbours);
             assert_eq!(replica.view.close_neighbours, fresh.close_neighbours);
-            for nb in replica.view.routing_neighbours() {
-                if nb != id {
-                    assert_eq!(replica.peers.get(&nb), ov.net.coords(nb).as_ref());
-                }
+            // The flattened routing table mirrors the snapshot's routing
+            // neighbours, with exact (immutable) coordinates inlined.
+            let table_ids: Vec<ObjectId> = replica.routing.iter().map(|&(nb, _)| nb).collect();
+            assert_eq!(table_ids, replica.view.routing_neighbours());
+            for &(nb, coords) in &replica.routing {
+                assert_eq!(Some(coords), ov.net.coords(nb));
             }
         }
     }

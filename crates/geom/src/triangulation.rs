@@ -357,7 +357,7 @@ impl Triangulation {
         loop {
             let mut best = cur;
             let mut best_d = cur_d;
-            for nb in self.neighbors(cur) {
+            for nb in self.neighbors_iter(cur) {
                 let d = self.points[nb as usize].distance2(p);
                 if d < best_d {
                     best = nb;
@@ -375,80 +375,70 @@ impl Triangulation {
     // ------------------------------------------------------------------
     // Neighbourhood queries
     // ------------------------------------------------------------------
+    //
+    // The iterator forms ([`Triangulation::neighbors_iter`],
+    // [`Triangulation::real_neighbors_iter`]) and the caller-buffer forms
+    // (`*_into`) are the hot-path API: they walk the triangle fan in place
+    // and never touch the heap.  The `Vec`-returning methods are thin
+    // wrappers kept for convenience and for cold callers.
+
+    /// Allocation-free iterator over all Delaunay neighbours of `v`
+    /// (possibly including sentinels), in counter-clockwise order around `v`
+    /// for interior vertices.
+    pub fn neighbors_iter(&self, v: VertexId) -> NeighborIter<'_> {
+        debug_assert!(self.contains_vertex(v));
+        let start = self.vert_tri[v as usize];
+        debug_assert!(start != NIL && self.tri_alive[start as usize]);
+        NeighborIter {
+            t: self,
+            v,
+            start,
+            cur: start,
+            phase: FanPhase::Ccw,
+        }
+    }
+
+    /// Allocation-free iterator over the Delaunay neighbours of `v`
+    /// restricted to real vertices.
+    pub fn real_neighbors_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.neighbors_iter(v).filter(|&u| !self.is_sentinel(u))
+    }
+
+    /// Collects all Delaunay neighbours of `v` into `out` (cleared first),
+    /// in the order of [`Triangulation::neighbors_iter`].
+    pub fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.neighbors_iter(v));
+    }
 
     /// All Delaunay neighbours of `v` (possibly including sentinels), in
     /// counter-clockwise order around `v` for interior vertices.
     pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        let mut out = Vec::with_capacity(8);
-        self.for_each_incident_triangle(v, |tri, i| {
-            out.push(tri.v[(i + 1) % 3]);
-        });
-        out
+        self.neighbors_iter(v).collect()
+    }
+
+    /// Collects the real Delaunay neighbours of `v` into `out` (cleared
+    /// first).
+    pub fn real_neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.real_neighbors_iter(v));
     }
 
     /// Delaunay neighbours of `v` restricted to real vertices.
     pub fn real_neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        self.neighbors(v)
-            .into_iter()
-            .filter(|&u| !self.is_sentinel(u))
-            .collect()
+        self.real_neighbors_iter(v).collect()
     }
 
     /// Degree of `v` counting only real neighbours (the `|vn(o)|` statistic
-    /// of the paper's Figure 5).
+    /// of the paper's Figure 5).  Allocation-free.
     pub fn real_degree(&self, v: VertexId) -> usize {
-        self.real_neighbors(v).len()
+        self.real_neighbors_iter(v).count()
     }
 
-    /// Calls `f(triangle, index_of_v)` for every live triangle incident to
-    /// `v`, rotating counter-clockwise.  Handles boundary fans (sentinel
-    /// vertices) by rotating in both directions.
-    fn for_each_incident_triangle<F: FnMut(&Triangle, usize)>(&self, v: VertexId, mut f: F) {
-        debug_assert!(self.contains_vertex(v));
-        let start = self.vert_tri[v as usize];
-        debug_assert!(start != NIL && self.tri_alive[start as usize]);
-        // Counter-clockwise sweep.
-        let mut cur = start;
-        loop {
-            let tri = &self.tris[cur as usize];
-            let i = tri
-                .index_of_vertex(v)
-                .expect("vert_tri invariant: triangle contains its vertex");
-            f(tri, i);
-            let next = tri.n[(i + 1) % 3];
-            if next == NIL {
-                break;
-            }
-            if next == start {
-                return;
-            }
-            cur = next;
-        }
-        // Hit the outer boundary: sweep clockwise from the start to cover the
-        // remaining fan (only happens for sentinel vertices).
-        let mut cur = start;
-        loop {
-            let tri = &self.tris[cur as usize];
-            let i = tri
-                .index_of_vertex(v)
-                .expect("vert_tri invariant: triangle contains its vertex");
-            let prev = tri.n[(i + 2) % 3];
-            if prev == NIL || prev == start {
-                return;
-            }
-            cur = prev;
-            let tri = &self.tris[cur as usize];
-            let i = tri
-                .index_of_vertex(v)
-                .expect("vert_tri invariant: triangle contains its vertex");
-            f(tri, i);
-        }
-    }
-
-    /// Ids of live triangles incident to `v` (counter-clockwise for interior
-    /// vertices).
-    pub fn incident_triangles(&self, v: VertexId) -> Vec<TriId> {
-        let mut out = Vec::with_capacity(8);
+    /// Collects the ids of live triangles incident to `v` into `out`
+    /// (cleared first; counter-clockwise for interior vertices).
+    pub fn incident_triangles_into(&self, v: VertexId, out: &mut Vec<TriId>) {
+        out.clear();
         let start = self.vert_tri[v as usize];
         let mut cur = start;
         loop {
@@ -464,29 +454,47 @@ impl Triangulation {
             }
             cur = next;
         }
+    }
+
+    /// Ids of live triangles incident to `v` (counter-clockwise for interior
+    /// vertices).
+    pub fn incident_triangles(&self, v: VertexId) -> Vec<TriId> {
+        let mut out = Vec::with_capacity(8);
+        self.incident_triangles_into(v, &mut out);
         out
     }
 
-    /// True when `a` and `b` are Delaunay neighbours.
+    /// True when `a` and `b` are Delaunay neighbours.  Allocation-free.
     pub fn are_neighbors(&self, a: VertexId, b: VertexId) -> bool {
-        self.neighbors(a).contains(&b)
+        self.neighbors_iter(a).any(|u| u == b)
+    }
+
+    /// Collects into `out` (cleared first) the vertices of the triangles
+    /// incident to `v` at distance 2 or less (neighbours and neighbours'
+    /// neighbours), excluding `v` itself and sentinels, sorted and deduped.
+    /// Used by the overlay to seed close-neighbour discovery (Lemma 1 of the
+    /// paper).
+    pub fn two_hop_real_neighborhood_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        for n in self.real_neighbors_iter(v) {
+            out.push(n);
+            for m in self.real_neighbors_iter(n) {
+                if m != v {
+                    out.push(m);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Vertices of the triangles incident to `v` at distance 2 or less
     /// (neighbours and neighbours' neighbours), excluding `v` itself and
-    /// sentinels.  Used by the overlay to seed close-neighbour discovery
-    /// (Lemma 1 of the paper).
+    /// sentinels.
     pub fn two_hop_real_neighborhood(&self, v: VertexId) -> Vec<VertexId> {
-        let mut seen = std::collections::BTreeSet::new();
-        for n in self.real_neighbors(v) {
-            seen.insert(n);
-            for m in self.real_neighbors(n) {
-                if m != v {
-                    seen.insert(m);
-                }
-            }
-        }
-        seen.into_iter().collect()
+        let mut out = Vec::new();
+        self.two_hop_real_neighborhood_into(v, &mut out);
+        out
     }
 
     // ------------------------------------------------------------------
@@ -971,6 +979,74 @@ impl Triangulation {
     }
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FanPhase {
+    Ccw,
+    Cw,
+    Done,
+}
+
+/// Allocation-free iterator over the Delaunay neighbours of one vertex,
+/// produced by [`Triangulation::neighbors_iter`].
+///
+/// Walks the incident-triangle fan counter-clockwise; when the fan is open
+/// (which only happens at the sentinel vertices, since the sentinel box
+/// keeps every real vertex interior) it restarts at the first triangle and
+/// sweeps clockwise to cover the remaining wedge.
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    t: &'a Triangulation,
+    v: VertexId,
+    start: u32,
+    cur: u32,
+    phase: FanPhase,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        match self.phase {
+            FanPhase::Done => None,
+            FanPhase::Ccw => {
+                let tri = &self.t.tris[self.cur as usize];
+                let i = tri
+                    .index_of_vertex(self.v)
+                    .expect("vert_tri invariant: triangle contains its vertex");
+                let out = tri.v[(i + 1) % 3];
+                let next = tri.n[(i + 1) % 3];
+                if next == NIL {
+                    // Open fan: switch to the clockwise sweep from the start.
+                    self.phase = FanPhase::Cw;
+                    self.cur = self.start;
+                } else if next == self.start {
+                    self.phase = FanPhase::Done;
+                } else {
+                    self.cur = next;
+                }
+                Some(out)
+            }
+            FanPhase::Cw => {
+                let tri = &self.t.tris[self.cur as usize];
+                let i = tri
+                    .index_of_vertex(self.v)
+                    .expect("vert_tri invariant: triangle contains its vertex");
+                let prev = tri.n[(i + 2) % 3];
+                if prev == NIL || prev == self.start {
+                    self.phase = FanPhase::Done;
+                    return None;
+                }
+                self.cur = prev;
+                let tri = &self.t.tris[self.cur as usize];
+                let i = tri
+                    .index_of_vertex(self.v)
+                    .expect("vert_tri invariant: triangle contains its vertex");
+                Some(tri.v[(i + 1) % 3])
+            }
+        }
+    }
+}
+
 impl std::fmt::Debug for Triangulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Triangulation")
@@ -1241,6 +1317,117 @@ mod tests {
         // Interior vertices have expected degree 6; hull-adjacent vertices
         // lower the average slightly.
         assert!(mean > 5.4 && mean < 6.2, "mean degree {mean} out of range");
+    }
+
+    #[test]
+    fn neighbor_iter_matches_collected_forms_and_brute_force() {
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut t = Triangulation::unit_square();
+        for p in random_points(120, 91) {
+            t.insert(p).unwrap();
+        }
+        // Independent oracle: adjacency reconstructed by scanning every live
+        // triangle, with no fan walking involved.
+        let mut oracle: BTreeMap<VertexId, BTreeSet<VertexId>> = BTreeMap::new();
+        for tri in t.triangles() {
+            for i in 0..3 {
+                oracle.entry(tri[i]).or_default().insert(tri[(i + 1) % 3]);
+                oracle.entry(tri[i]).or_default().insert(tri[(i + 2) % 3]);
+            }
+        }
+        let mut buf = Vec::new();
+        // Real vertices and the four sentinels (open fans) must agree across
+        // the iterator, the `_into` and the `Vec` forms — and with the
+        // oracle, each neighbour emitted exactly once.  Real vertices are
+        // always interior (closed fans), so the walk must reproduce the
+        // mesh adjacency exactly; a sentinel's open fan yields one
+        // neighbour per incident triangle, which under-reports the far end
+        // of its boundary edge — irrelevant to the overlay (sentinels are
+        // never routed through) but pinned here as a subset.
+        for v in (0..SENTINEL_COUNT).chain(t.vertices().collect::<Vec<_>>()) {
+            let collected: Vec<_> = t.neighbors_iter(v).collect();
+            let as_set: BTreeSet<_> = collected.iter().copied().collect();
+            if t.is_sentinel(v) {
+                assert!(
+                    as_set.is_subset(&oracle[&v]),
+                    "fan walk invented a neighbour at sentinel {v}"
+                );
+            } else {
+                assert_eq!(
+                    as_set, oracle[&v],
+                    "fan walk disagrees with the mesh at {v}"
+                );
+            }
+            assert_eq!(as_set.len(), collected.len(), "duplicate neighbour at {v}");
+            assert_eq!(collected, t.neighbors(v));
+            t.neighbors_into(v, &mut buf);
+            assert_eq!(collected, buf);
+            t.real_neighbors_into(v, &mut buf);
+            assert_eq!(buf, t.real_neighbors(v));
+            assert_eq!(t.real_degree(v), buf.len());
+            for &n in &collected {
+                assert!(t.are_neighbors(v, n));
+            }
+        }
+    }
+
+    #[test]
+    fn removal_of_low_degree_vertices_keeps_invariants() {
+        // A vertex inserted inside a triangle has degree 3 (the minimum);
+        // removing it exercises the smallest possible hole polygon.
+        let mut t = Triangulation::unit_square();
+        let a = t.insert(Point2::new(0.2, 0.2)).unwrap();
+        let b = t.insert(Point2::new(0.8, 0.2)).unwrap();
+        let c = t.insert(Point2::new(0.5, 0.8)).unwrap();
+        let mid = t.insert(Point2::new(0.5, 0.4)).unwrap();
+        assert_eq!(t.real_degree(mid), 3);
+        t.remove(mid).unwrap();
+        t.validate().unwrap();
+        assert!(t.euler_check());
+        // Remove the remaining vertices down to the empty triangulation,
+        // checking the structure after every single removal.
+        for v in [a, b, c] {
+            t.remove(v).unwrap();
+            t.validate().unwrap();
+            assert!(t.euler_check());
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn removal_of_hull_adjacent_vertices_keeps_invariants() {
+        // Vertices on the domain boundary (corners and edge midpoints) are
+        // Delaunay neighbours of the sentinel vertices; their stars contain
+        // sentinel triangles, which the ear-clipping removal must handle.
+        let mut t = Triangulation::unit_square();
+        let boundary = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(1.0, 0.5),
+            Point2::new(0.5, 1.0),
+            Point2::new(0.0, 0.5),
+        ];
+        let mut ids = Vec::new();
+        for p in boundary {
+            ids.push(t.insert(p).unwrap());
+        }
+        for p in random_points(40, 93) {
+            t.insert(p).unwrap();
+        }
+        t.validate().unwrap();
+        for v in ids {
+            assert!(
+                t.neighbors_iter(v).any(|u| t.is_sentinel(u)),
+                "boundary vertex {v} should touch the sentinel hull"
+            );
+            t.remove(v).unwrap();
+            t.validate().unwrap();
+            assert!(t.euler_check());
+        }
+        assert_eq!(t.len(), 40);
     }
 
     #[test]

@@ -119,13 +119,37 @@ impl<E> EventQueue<E> {
     ///
     /// Cancellation is lazy: the heap entry is skipped (and its slot
     /// recycled) when its delivery time comes, so cancelling never perturbs
-    /// the relative order of the surviving events.
+    /// the relative order of the surviving events.  When tombstones come to
+    /// outnumber the pending events (more than half the heap), the heap is
+    /// compacted in one linear pass, bounding its size at twice the number
+    /// of pending events — a cancel-heavy workload (timeouts that were met,
+    /// retries that were superseded) can no longer grow it without bound.
     pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
         let slot = self.by_handle.remove(&handle.0)?;
         // The slot stays reserved until the stale heap entry is popped;
         // freeing it now could hand it to a new event that the stale entry
         // would then deliver early.
-        self.slots[slot].take()
+        let event = self.slots[slot].take();
+        if self.heap.len() >= 32 && self.heap.len() > 2 * self.by_handle.len() {
+            self.compact();
+        }
+        event
+    }
+
+    /// Drops every tombstoned heap entry, freeing its slot.  Survivor order
+    /// is untouched: heap keys are unique `(time, seq)` pairs, so rebuilding
+    /// the heap from the surviving entries reproduces the exact delivery
+    /// order.
+    fn compact(&mut self) {
+        let mut live = Vec::with_capacity(self.by_handle.len());
+        for (key, slot) in self.heap.drain() {
+            if self.slots[slot].is_some() {
+                live.push((key, slot));
+            } else {
+                self.free.push(slot);
+            }
+        }
+        self.heap = BinaryHeap::from(live);
     }
 
     /// Cancels a pending event and schedules its payload again `delay` units
@@ -371,6 +395,87 @@ mod tests {
         q.reschedule(a, 3).unwrap();
         let delivered: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(delivered, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn cancellation_tombstones_are_compacted() {
+        // A cancel-heavy workload (schedule many, cancel almost all, never
+        // pop) must not grow the heap without bound: tombstones are
+        // compacted away once they exceed half the heap.
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for round in 0..100u64 {
+            let handles: Vec<_> = (0..100u64)
+                .map(|i| q.schedule(i % 7, round * 100 + i))
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                if i == 0 {
+                    keep.push(h);
+                } else {
+                    assert!(q.cancel(h).is_some());
+                }
+            }
+        }
+        assert_eq!(q.len(), 100, "one survivor per round");
+        assert!(
+            q.heap.len() <= 2 * q.len(),
+            "heap must stay within 2x the pending events, got {} for {}",
+            q.heap.len(),
+            q.len()
+        );
+        assert!(
+            q.slots.len() <= 2 * q.len() + 100,
+            "cancelled slots must be recycled eagerly, got {}",
+            q.slots.len()
+        );
+        // Compaction must not perturb delivery: survivors arrive in
+        // (time, scheduling) order with their payloads intact.
+        let delivered: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(delivered.len(), 100);
+        let mut expected: Vec<(SimTime, u64)> = (0..100u64).map(|round| (0, round * 100)).collect();
+        expected.sort_by_key(|&(t, payload)| (t, payload));
+        assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn compaction_is_equivalent_to_events_never_having_fired() {
+        // Scaled-up variant of `cancel_does_not_perturb_order_of_survivors`
+        // that cancels enough events (80% of 500) to trigger compaction
+        // several times over.
+        let build = |cancel_some: bool| {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            for i in 0..500u64 {
+                handles.push(q.schedule(i % 11, i));
+            }
+            if cancel_some {
+                for (i, &h) in handles.iter().enumerate() {
+                    if i % 5 != 0 {
+                        assert!(q.cancel(h).is_some());
+                    }
+                }
+                assert!(
+                    q.heap.len() <= 2 * q.len(),
+                    "compaction must have bounded the heap ({} entries for {} pending)",
+                    q.heap.len(),
+                    q.len()
+                );
+            }
+            let mut order = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                order.push((t, e));
+            }
+            order
+        };
+        let with_cancels = build(true);
+        let without: Vec<_> = build(false)
+            .into_iter()
+            .filter(|&(_, e)| e % 5 == 0)
+            .collect();
+        assert_eq!(
+            with_cancels, without,
+            "compacted cancellation must be equivalent to the events never having fired"
+        );
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Counting-allocator proof of the zero-copy routing hot path: once the
+//! caller's path buffer has warmed up, a greedy route over the arena-backed
+//! overlay performs **no heap allocation at all** — every hop is a scan of
+//! a borrowed [`voronet_core::ViewRef`].
+//!
+//! This file deliberately contains a single test: the counting allocator is
+//! process-global, and a concurrently running test would perturb the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use voronet::prelude::*;
+use voronet_workloads::Distribution;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn greedy_routing_is_allocation_free_after_warmup() {
+    let mut net = VoroNet::new(VoroNetConfig::new(2_000).with_seed(7));
+    for p in PointGenerator::new(Distribution::Uniform, 11).take_points(2_000) {
+        let _ = net.insert(p);
+    }
+    let ids: Vec<ObjectId> = net.ids().collect();
+    assert!(net.len() > 1_900);
+
+    // A deterministic pair set: routing consumes no randomness, so replaying
+    // the same pairs touches exactly the same nodes (and therefore the same,
+    // already-materialised traffic-counter entries) as the warm-up pass.
+    let pairs: Vec<(ObjectId, ObjectId)> = (0..64)
+        .map(|i| {
+            let a = ids[(i * 31) % ids.len()];
+            let b = ids[(i * 97 + 13) % ids.len()];
+            (a, b)
+        })
+        .filter(|(a, b)| a != b)
+        .collect();
+
+    let mut path: Vec<ObjectId> = Vec::new();
+
+    // Warm-up: grows the path buffer to the longest route of the set.
+    let mut warm_hops = Vec::new();
+    for &(a, b) in &pairs {
+        let target = net.coords(b).unwrap();
+        let (owner, hops) = net.route_to_point_into(a, target, &mut path).unwrap();
+        assert_eq!(owner, b);
+        warm_hops.push(hops);
+    }
+
+    // Measured pass: identical routes, zero allocations.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut total_hops = 0u64;
+    for (&(a, b), &expected_hops) in pairs.iter().zip(&warm_hops) {
+        let target = net.coords(b).unwrap();
+        let (owner, hops) = net.route_to_point_into(a, target, &mut path).unwrap();
+        assert_eq!(owner, b);
+        assert_eq!(hops, expected_hops, "routing must be deterministic");
+        total_hops += hops as u64;
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert!(total_hops > 100, "the pair set must exercise real routes");
+    assert_eq!(
+        allocated,
+        0,
+        "greedy routing over a warmed-up overlay must not touch the heap \
+         ({allocated} allocations across {} routes, {total_hops} hops)",
+        pairs.len()
+    );
+}
