@@ -1,0 +1,67 @@
+//! # voronet-api
+//!
+//! The backend-agnostic overlay API of the VoroNet reproduction: one
+//! stable client surface over every protocol engine.
+//!
+//! The paper defines a single protocol — join, leave, greedy/long-link
+//! routing, range queries — but the workspace grew two execution engines
+//! for it: the synchronous [`VoroNet`](voronet_core::VoroNet) fast path
+//! and the message-driven [`AsyncOverlay`](voronet_core::runtime)
+//! runtime.  This crate makes them interchangeable:
+//!
+//! * [`Overlay`] — the engine-agnostic trait (insert / remove / route /
+//!   query / snapshot / stats), dyn-compatible so callers hold a
+//!   `Box<dyn Overlay>`;
+//! * [`Op`] / [`OpResult`] — typed batched operations:
+//!   [`Overlay::apply_batch`] is the throughput lever (buffer reuse on the
+//!   sync engine, shared quiescence rounds for route runs on the async
+//!   one);
+//! * [`OverlayBuilder`] — fluent construction: provisioned population,
+//!   seed, long-link count, `d_min` rule, network model, engine selection;
+//! * [`VoronetError`] — the unified error taxonomy (re-exported from
+//!   `voronet-core`), `From`-convertible from the legacy
+//!   [`JoinError`](voronet_core::JoinError) /
+//!   [`OverlayError`](voronet_core::OverlayError);
+//! * [`resolve_workload`] — binds the index-named batch scripts of
+//!   `voronet-workloads` to a concrete engine.
+//!
+//! ```
+//! use voronet_api::{Op, Overlay, OverlayBuilder};
+//! use voronet_geom::Point2;
+//!
+//! let mut net = OverlayBuilder::new(100).seed(1).build_sync();
+//! let a = net.insert(Point2::new(0.2, 0.2)).unwrap().id;
+//! let b = net.insert(Point2::new(0.9, 0.7)).unwrap().id;
+//!
+//! // Single-operation form …
+//! assert_eq!(net.route_between(a, b).unwrap().owner, b);
+//!
+//! // … and the batched form every engine accepts.
+//! let results = net.apply_batch(&[
+//!     Op::Insert { position: Point2::new(0.4, 0.6) },
+//!     Op::RouteBetween { from: b, to: a },
+//! ]);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod async_engine;
+pub mod builder;
+pub mod ops;
+pub mod overlay;
+pub mod sync_engine;
+pub mod workload;
+
+pub use async_engine::AsyncEngine;
+pub use builder::{EngineKind, OverlayBuilder};
+pub use ops::{
+    InsertOutcome, Op, OpResult, OverlayStats, QueryOutcome, RemoveOutcome, RouteOutcome,
+};
+pub use overlay::Overlay;
+pub use sync_engine::SyncEngine;
+pub use workload::resolve_workload;
+
+// The error taxonomy lives in `voronet-core` (the overlay itself reports
+// through it); re-exported here because it is part of the API surface.
+pub use voronet_core::{ErrorKind, VoronetError};

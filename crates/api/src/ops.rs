@@ -1,0 +1,180 @@
+//! Typed batched operations and their results.
+//!
+//! A batch is a slice of [`Op`]s handed to
+//! [`Overlay::apply_batch`](crate::Overlay::apply_batch); every operation
+//! produces exactly one [`OpResult`] at the same index, so submitters can
+//! correlate without bookkeeping.  Batching is the throughput lever of the
+//! API: engines amortise per-operation overhead (buffer reuse on the
+//! synchronous engine, one quiescence round for a whole run of routes on
+//! the asynchronous one) without changing operation semantics.
+
+use voronet_core::queries::AreaQueryReport;
+use voronet_core::{ObjectId, ObjectView, VoronetError};
+use voronet_geom::Point2;
+use voronet_workloads::{RadiusQuery, RangeQuery};
+
+/// Outcome of a successful insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Identifier assigned to the new object.
+    pub id: ObjectId,
+}
+
+/// Outcome of a successful removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoveOutcome {
+    /// The object that departed.
+    pub id: ObjectId,
+}
+
+/// Outcome of a successful route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Object owning the Voronoi region of the target point.
+    pub owner: ObjectId,
+    /// Forwarding steps taken.
+    pub hops: u32,
+}
+
+/// Outcome of a successful area (range or radius) query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Objects matching the query predicate, sorted by id.
+    pub matches: Vec<ObjectId>,
+    /// Objects visited by the flood phase (the query's load footprint).
+    pub visited: usize,
+    /// Hops of the initial greedy route towards the queried area.
+    pub routing_hops: u32,
+    /// Messages exchanged during the flood phase.
+    pub flood_messages: u64,
+}
+
+impl From<AreaQueryReport> for QueryOutcome {
+    fn from(r: AreaQueryReport) -> Self {
+        QueryOutcome {
+            matches: r.matches,
+            visited: r.visited,
+            routing_hops: r.routing_hops,
+            flood_messages: r.flood_messages,
+        }
+    }
+}
+
+/// Aggregate counters every engine exposes through
+/// [`Overlay::stats`](crate::Overlay::stats).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlayStats {
+    /// Live objects.
+    pub population: usize,
+    /// Protocol messages recorded since construction.
+    pub messages: u64,
+    /// Routes completed through this engine.
+    pub routes_completed: u64,
+    /// Mean hop count of the completed routes (0.0 when none completed).
+    pub mean_route_hops: f64,
+}
+
+/// One operation of a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Publish a new object.
+    Insert {
+        /// Attribute coordinates of the new object.
+        position: Point2,
+    },
+    /// Gracefully remove an object.
+    Remove {
+        /// The departing object.
+        id: ObjectId,
+    },
+    /// Greedy-route from an object towards an arbitrary target point.
+    Route {
+        /// Source object.
+        from: ObjectId,
+        /// Target point.
+        target: Point2,
+    },
+    /// Greedy-route between two objects.
+    RouteBetween {
+        /// Source object.
+        from: ObjectId,
+        /// Destination object.
+        to: ObjectId,
+    },
+    /// Rectangular range query.
+    Range {
+        /// Issuing object.
+        from: ObjectId,
+        /// The queried rectangle.
+        query: RangeQuery,
+    },
+    /// Radius (disk) query.
+    Radius {
+        /// Issuing object.
+        from: ObjectId,
+        /// The queried disk.
+        query: RadiusQuery,
+    },
+    /// Capture an object's view snapshot.
+    Snapshot {
+        /// The object whose view is captured.
+        id: ObjectId,
+    },
+}
+
+/// The result of one [`Op`], at the same batch index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpResult {
+    /// An [`Op::Insert`] succeeded.
+    Inserted(InsertOutcome),
+    /// An [`Op::Remove`] succeeded.
+    Removed(RemoveOutcome),
+    /// An [`Op::Route`] / [`Op::RouteBetween`] completed.
+    Routed(RouteOutcome),
+    /// An [`Op::Range`] / [`Op::Radius`] completed.
+    Queried(QueryOutcome),
+    /// An [`Op::Snapshot`] succeeded (boxed: views are large relative to
+    /// the other outcomes).
+    Snapshotted(Box<ObjectView>),
+    /// The operation failed.
+    Failed(VoronetError),
+}
+
+impl OpResult {
+    /// True when the operation succeeded.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, OpResult::Failed(_))
+    }
+
+    /// The error of a failed operation.
+    pub fn err(&self) -> Option<&VoronetError> {
+        match self {
+            OpResult::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The route outcome, when this is [`OpResult::Routed`].
+    pub fn as_routed(&self) -> Option<&RouteOutcome> {
+        match self {
+            OpResult::Routed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The insert outcome, when this is [`OpResult::Inserted`].
+    pub fn as_inserted(&self) -> Option<&InsertOutcome> {
+        match self {
+            OpResult::Inserted(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The query outcome, when this is [`OpResult::Queried`].
+    pub fn as_queried(&self) -> Option<&QueryOutcome> {
+        match self {
+            OpResult::Queried(r) => Some(r),
+            _ => None,
+        }
+    }
+}

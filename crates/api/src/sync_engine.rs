@@ -1,0 +1,132 @@
+//! The synchronous engine: [`Overlay`] implemented directly over
+//! [`VoroNet`].
+
+use crate::ops::{InsertOutcome, OverlayStats, QueryOutcome, RemoveOutcome, RouteOutcome};
+use crate::overlay::Overlay;
+use voronet_core::queries::{radius_query, range_query};
+use voronet_core::{ObjectId, ObjectView, VoroNet, VoroNetConfig, VoronetError};
+use voronet_geom::Point2;
+use voronet_sim::RouteStats;
+use voronet_workloads::{RadiusQuery, RangeQuery};
+
+/// The synchronous VoroNet engine: every operation executes to completion
+/// inside one address space — the fast path used to reproduce the paper's
+/// figures.
+///
+/// Routing goes through the allocation-free
+/// [`VoroNet::route_to_point_into`] with a path buffer owned by the engine,
+/// so a batch of routes performs no heap allocation after warm-up.
+pub struct SyncEngine {
+    net: VoroNet,
+    routes: RouteStats,
+    path_buf: Vec<ObjectId>,
+}
+
+impl SyncEngine {
+    /// Creates an empty synchronous engine.
+    pub fn new(config: VoroNetConfig) -> Self {
+        SyncEngine {
+            net: VoroNet::new(config),
+            routes: RouteStats::new(),
+            path_buf: Vec::new(),
+        }
+    }
+
+    /// Wraps an already-populated overlay.
+    pub fn from_net(net: VoroNet) -> Self {
+        SyncEngine {
+            net,
+            routes: RouteStats::new(),
+            path_buf: Vec::new(),
+        }
+    }
+
+    /// Read access to the underlying overlay.
+    pub fn net(&self) -> &VoroNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying overlay (engine-specific
+    /// operations: dynamic `N_max`, invariant checks, experiments).
+    pub fn net_mut(&mut self) -> &mut VoroNet {
+        &mut self.net
+    }
+
+    /// Unwraps the engine back into the overlay.
+    pub fn into_net(self) -> VoroNet {
+        self.net
+    }
+}
+
+impl Overlay for SyncEngine {
+    fn engine_name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn config(&self) -> &VoroNetConfig {
+        self.net.config()
+    }
+
+    fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.net.contains(id)
+    }
+
+    fn coords(&self, id: ObjectId) -> Option<Point2> {
+        self.net.coords(id)
+    }
+
+    fn id_at(&self, index: usize) -> Option<ObjectId> {
+        self.net.id_at(index)
+    }
+
+    fn insert(&mut self, position: Point2) -> Result<InsertOutcome, VoronetError> {
+        let report = self.net.insert(position)?;
+        Ok(InsertOutcome { id: report.id })
+    }
+
+    fn remove(&mut self, id: ObjectId) -> Result<RemoveOutcome, VoronetError> {
+        self.net.remove(id)?;
+        Ok(RemoveOutcome { id })
+    }
+
+    fn route(&mut self, from: ObjectId, target: Point2) -> Result<RouteOutcome, VoronetError> {
+        let (owner, hops) = self
+            .net
+            .route_to_point_into(from, target, &mut self.path_buf)?;
+        self.routes.record(hops);
+        Ok(RouteOutcome { owner, hops })
+    }
+
+    fn range(&mut self, from: ObjectId, query: RangeQuery) -> Result<QueryOutcome, VoronetError> {
+        Ok(range_query(&mut self.net, from, query)?.into())
+    }
+
+    fn radius(&mut self, from: ObjectId, query: RadiusQuery) -> Result<QueryOutcome, VoronetError> {
+        Ok(radius_query(&mut self.net, from, query)?.into())
+    }
+
+    fn snapshot(&self, id: ObjectId) -> Result<ObjectView, VoronetError> {
+        Ok(self.net.view(id)?)
+    }
+
+    fn stats(&self) -> OverlayStats {
+        OverlayStats {
+            population: self.net.len(),
+            messages: self.net.traffic().total(),
+            routes_completed: self.routes.count() as u64,
+            mean_route_hops: if self.routes.count() == 0 {
+                0.0
+            } else {
+                self.routes.mean()
+            },
+        }
+    }
+
+    fn verify_invariants(&self) -> Result<(), VoronetError> {
+        self.net.check_invariants(false)
+    }
+}

@@ -1,0 +1,191 @@
+//! Batched operations through the backend-agnostic `Overlay` trait: route
+//! and insert+route batches on a pre-built 10,000-node overlay, submitted
+//! via `apply_batch` on the synchronous engine, plus the asynchronous
+//! engine's pipelined route batches at a smaller scale.
+//!
+//! Besides the Criterion console output, the bench records its headline
+//! numbers as the `batched_ops` section of `BENCH_routes.json`, next to
+//! the `route_hot_path` numbers, so the batched submission path is diffed
+//! run over run exactly like the raw hot path.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+use voronet_api::{AsyncEngine, Op, Overlay, OverlayBuilder, SyncEngine};
+use voronet_core::experiments::build_overlay;
+use voronet_core::VoroNetConfig;
+use voronet_sim::{LatencyModel, NetworkModel};
+use voronet_workloads::{Distribution, PointGenerator, QueryGenerator};
+
+const OVERLAY_SIZE: usize = 10_000;
+const ASYNC_OVERLAY_SIZE: usize = 2_000;
+const BATCH: usize = 256;
+const SEED: u64 = 2006;
+
+/// A route-only batch over random live pairs (routes never mutate overlay
+/// structure, so the batch can be replayed under Criterion).
+fn route_batch(net: &dyn Overlay, len: usize, seed: u64) -> Vec<Op> {
+    let ids = net.ids();
+    let mut qg = QueryGenerator::new(seed);
+    (0..len)
+        .map(|_| {
+            let (a, b) = qg.object_pair(ids.len());
+            Op::RouteBetween {
+                from: ids[a],
+                to: ids[b],
+            }
+        })
+        .collect()
+}
+
+fn build_sync() -> SyncEngine {
+    let cfg = VoroNetConfig::new(OVERLAY_SIZE).with_seed(SEED);
+    let (net, _) = build_overlay(Distribution::Uniform, OVERLAY_SIZE, cfg);
+    SyncEngine::from_net(net)
+}
+
+fn build_async() -> AsyncEngine {
+    let mut engine = OverlayBuilder::new(ASYNC_OVERLAY_SIZE)
+        .seed(SEED)
+        .network(NetworkModel::ideal())
+        .build_async();
+    let points = PointGenerator::new(Distribution::Uniform, SEED ^ 0x9E3779B9)
+        .take_points(ASYNC_OVERLAY_SIZE);
+    engine.overlay_mut().warmup(&points);
+    engine
+}
+
+fn batched_ops(c: &mut Criterion) {
+    let mut sync_engine = build_sync();
+    let sync_routes = route_batch(&sync_engine, BATCH, 42);
+    let mut async_engine = build_async();
+    let async_routes = route_batch(&async_engine, BATCH, 42);
+
+    let mut group = c.benchmark_group("batched_ops");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("sync_route_batch", OVERLAY_SIZE), |b| {
+        b.iter(|| black_box(sync_engine.apply_batch(&sync_routes)));
+    });
+
+    group.bench_function(
+        BenchmarkId::new("async_route_batch", ASYNC_OVERLAY_SIZE),
+        |b| {
+            b.iter(|| black_box(async_engine.apply_batch(&async_routes)));
+        },
+    );
+
+    group.finish();
+
+    record_json(
+        &mut sync_engine,
+        &sync_routes,
+        &mut async_engine,
+        &async_routes,
+    );
+}
+
+/// One timed pass per engine and submission style, recorded as the
+/// `batched_ops` section of `BENCH_routes.json`.
+fn record_json(
+    sync_engine: &mut SyncEngine,
+    sync_routes: &[Op],
+    async_engine: &mut AsyncEngine,
+    async_routes: &[Op],
+) {
+    // Warm both submission paths before timing either, so neither
+    // measurement benefits from running second.
+    let time_batch = |net: &mut dyn Overlay, ops: &[Op]| -> f64 {
+        net.apply_batch(ops);
+        for op in ops.iter().take(8) {
+            black_box(net.apply(op));
+        }
+        let start = Instant::now();
+        let results = net.apply_batch(ops);
+        assert!(results.iter().all(|r| r.is_ok()));
+        start.elapsed().as_nanos() as f64 / ops.len() as f64
+    };
+    let time_per_op = |net: &mut dyn Overlay, ops: &[Op]| -> f64 {
+        net.apply_batch(ops);
+        let start = Instant::now();
+        for op in ops {
+            black_box(net.apply(op));
+        }
+        start.elapsed().as_nanos() as f64 / ops.len() as f64
+    };
+
+    let sync_batch_ns = time_batch(sync_engine, sync_routes);
+    let sync_per_op_ns = time_per_op(sync_engine, sync_routes);
+    let async_batch_ns = time_batch(async_engine, async_routes);
+    let async_per_op_ns = time_per_op(async_engine, async_routes);
+
+    // The asynchronous engine's batching lever is *protocol time*, not
+    // host ns: under network latency a batched run of routes is in flight
+    // concurrently and quiesces in roughly the slowest route's end-to-end
+    // latency, while per-op submission pays every route's full latency
+    // chain back to back on the simulated clock.
+    let mut lat_engine = OverlayBuilder::new(ASYNC_OVERLAY_SIZE)
+        .seed(SEED)
+        .network(NetworkModel::new(
+            SEED,
+            LatencyModel::Uniform { min: 5, max: 50 },
+        ))
+        .build_async();
+    let points = PointGenerator::new(Distribution::Uniform, SEED ^ 0x9E3779B9)
+        .take_points(ASYNC_OVERLAY_SIZE);
+    lat_engine.overlay_mut().warmup(&points);
+    let lat_routes = route_batch(&lat_engine, BATCH, 42);
+    let t0 = lat_engine.overlay().now();
+    for op in &lat_routes {
+        black_box(lat_engine.apply(op));
+    }
+    let per_op_sim_time = lat_engine.overlay().now() - t0;
+    let t0 = lat_engine.overlay().now();
+    black_box(lat_engine.apply_batch(&lat_routes));
+    let batch_sim_time = lat_engine.overlay().now() - t0;
+
+    // One mixed insert+route batch (timed once — inserts mutate the
+    // overlay, so this sample is not replayed).
+    let mut points = PointGenerator::new(Distribution::Uniform, 77);
+    let ids = sync_engine.ids();
+    let mut qg = QueryGenerator::new(78);
+    let mixed: Vec<Op> = (0..BATCH)
+        .map(|i| {
+            if i % 8 == 0 {
+                Op::Insert {
+                    position: points.next_point(),
+                }
+            } else {
+                let (a, b) = qg.object_pair(ids.len());
+                Op::RouteBetween {
+                    from: ids[a],
+                    to: ids[b],
+                }
+            }
+        })
+        .collect();
+    let start = Instant::now();
+    let results = sync_engine.apply_batch(&mixed);
+    let mixed_ns = start.elapsed().as_nanos() as f64 / mixed.len() as f64;
+    let mixed_ok = results.iter().filter(|r| r.is_ok()).count();
+
+    let section = format!(
+        "{{ \"batch\": {BATCH}, \"sync\": {{ \"overlay_size\": {OVERLAY_SIZE}, \"route_batch_ns_per_op\": {sync_batch_ns:.1}, \"route_per_op_ns\": {sync_per_op_ns:.1}, \"mixed_insert_route_ns_per_op\": {mixed_ns:.1}, \"mixed_ok\": {mixed_ok} }}, \"async\": {{ \"overlay_size\": {ASYNC_OVERLAY_SIZE}, \"route_batch_ns_per_op\": {async_batch_ns:.1}, \"route_per_op_ns\": {async_per_op_ns:.1}, \"latency_network_sim_time_batch\": {batch_sim_time}, \"latency_network_sim_time_per_op\": {per_op_sim_time} }} }}",
+    );
+    println!(
+        "async pipelining under latency: {BATCH} routes quiesce in {batch_sim_time} simulated \
+         units batched vs {per_op_sim_time} per-op"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routes.json");
+    match voronet_bench::record::update_json_section(Path::new(out), "batched_ops", &section) {
+        Err(e) => eprintln!("could not write {out}: {e}"),
+        Ok(()) => println!("recorded batched_ops results to {out}"),
+    }
+}
+
+criterion_group!(benches, batched_ops);
+
+fn main() {
+    benches();
+}

@@ -75,9 +75,9 @@ fn route_hot_path(c: &mut Criterion) {
     record_json(&mut net, &pairs);
 }
 
-/// One timed pass per mode, appended to `BENCH_routes.json` (overwritten
-/// each run) so routing regressions are diffable without parsing console
-/// output.
+/// One timed pass per mode, recorded as the `route_hot_path` section of
+/// `BENCH_routes.json` (other benches own the other sections) so routing
+/// regressions are diffable without parsing console output.
 fn record_json(net: &mut VoroNet, pairs: &[(ObjectId, ObjectId)]) {
     let mut path: Vec<ObjectId> = Vec::with_capacity(64);
     // Warm-up (buffers + branch predictors), then measure.
@@ -108,8 +108,8 @@ fn record_json(net: &mut VoroNet, pairs: &[(ObjectId, ObjectId)]) {
     }
     let alg5_ns = start.elapsed().as_nanos() as f64 / pairs.len() as f64;
 
-    let json = format!(
-        "{{\n  \"overlay_size\": {},\n  \"pairs\": {},\n  \"greedy_into\": {{ \"mean_ns_per_route\": {:.1}, \"mean_hops\": {:.2} }},\n  \"algorithm5\": {{ \"mean_ns_per_route\": {:.1}, \"mean_forwarding_hops\": {:.2} }}\n}}\n",
+    let section = format!(
+        "{{ \"overlay_size\": {}, \"pairs\": {}, \"greedy_into\": {{ \"mean_ns_per_route\": {:.1}, \"mean_hops\": {:.2} }}, \"algorithm5\": {{ \"mean_ns_per_route\": {:.1}, \"mean_forwarding_hops\": {:.2} }} }}",
         OVERLAY_SIZE,
         pairs.len(),
         greedy_ns,
@@ -118,10 +118,13 @@ fn record_json(net: &mut VoroNet, pairs: &[(ObjectId, ObjectId)]) {
         alg5_hops as f64 / pairs.len() as f64,
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routes.json");
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("could not write {out}: {e}");
-    } else {
-        println!("recorded route_hot_path results to {out}");
+    match voronet_bench::record::update_json_section(
+        std::path::Path::new(out),
+        "route_hot_path",
+        &section,
+    ) {
+        Err(e) => eprintln!("could not write {out}: {e}"),
+        Ok(()) => println!("recorded route_hot_path results to {out}"),
     }
 }
 

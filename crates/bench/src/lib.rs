@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod record;
+
 use voronet_core::experiments::{
     build_overlay, long_link_sweep, mean_route_length, route_length_growth, GrowthExperiment,
 };

@@ -1,0 +1,178 @@
+//! Tiny recorder for the workspace-root benchmark JSON files.
+//!
+//! Several benches persist their headline numbers to one file
+//! (`BENCH_routes.json`) so successive runs can be diffed without parsing
+//! Criterion's console output.  Each bench owns one *top-level section* of
+//! the file and must not clobber the others, whichever subset of benches
+//! ran; [`update_json_section`] reads the existing file, replaces (or
+//! appends) the caller's section and rewrites the document.  The vendored
+//! serde stand-in has no JSON support, so the top-level splitting is done
+//! with a dependency-free scanner.
+
+use std::io;
+use std::path::Path;
+
+/// Splits a JSON object document into its top-level `(key, raw value)`
+/// pairs, preserving order.  Returns `None` when the content is not a
+/// braced object or is too mangled to scan (the caller then starts a
+/// fresh document rather than corrupting the old one further).
+fn split_top_level(content: &str) -> Option<Vec<(String, String)>> {
+    let body = content.trim();
+    let inner = body.strip_prefix('{')?.strip_suffix('}')?;
+    let mut sections = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Skip whitespace and separators between entries.
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        // Key.
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let key_start = i + 1;
+        let mut j = key_start;
+        while j < bytes.len() && bytes[j] != b'"' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        if j >= bytes.len() {
+            return None;
+        }
+        let key = inner.get(key_start..j)?.to_string();
+        i = j + 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        // Value: scan to the next top-level comma, tracking nesting and
+        // strings.
+        let value_start = i;
+        let mut depth = 0i32;
+        let mut in_string = false;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if in_string {
+                if c == b'\\' {
+                    i += 1;
+                } else if c == b'"' {
+                    in_string = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_string = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if depth != 0 || in_string {
+            return None;
+        }
+        let value = inner.get(value_start..i)?.trim().to_string();
+        sections.push((key, value));
+    }
+    Some(sections)
+}
+
+/// Replaces (or appends) the top-level section `key` of the JSON object in
+/// `path` with `value` (itself a serialized JSON value), preserving every
+/// other section.  A missing file starts a fresh document; an existing but
+/// unscannable one is reported on stderr before being replaced, so a
+/// clobbered sibling section never disappears silently.  The write goes
+/// through a sibling temp file + rename, so a killed bench run leaves
+/// either the old document or the new one, never a truncated file.
+pub fn update_json_section(path: &Path, key: &str, value: &str) -> io::Result<()> {
+    let existing = std::fs::read_to_string(path).ok();
+    let mut sections = match existing.as_deref() {
+        None => Vec::new(),
+        Some(content) => match split_top_level(content) {
+            Some(sections) => sections,
+            None => {
+                eprintln!(
+                    "{}: existing content is not a scannable JSON object; starting fresh \
+                     (other benches' sections are lost)",
+                    path.display()
+                );
+                Vec::new()
+            }
+        },
+    };
+    match sections.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value.trim().to_string(),
+        None => sections.push((key.to_string(), value.trim().to_string())),
+    }
+    let mut out = String::from("{\n");
+    for (idx, (k, v)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{k}\": {v}"));
+        out.push_str(if idx + 1 < sections.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("}\n");
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_nested_sections() {
+        let doc = r#"{
+  "a": { "x": 1, "y": { "z": [1, 2, 3] } },
+  "b": 4.5,
+  "c": "s,tr\"ing"
+}"#;
+        let sections = split_top_level(doc).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].0, "a");
+        assert!(sections[0].1.contains("[1, 2, 3]"));
+        assert_eq!(sections[1], ("b".to_string(), "4.5".to_string()));
+        assert_eq!(sections[2].1, "\"s,tr\\\"ing\"");
+    }
+
+    #[test]
+    fn rejects_mangled_documents() {
+        assert!(split_top_level("not json").is_none());
+        assert!(split_top_level("{ \"a\": { }").is_none());
+        assert!(split_top_level("{ a: 1 }").is_none());
+    }
+
+    #[test]
+    fn update_preserves_other_sections() {
+        let dir = std::env::temp_dir().join("voronet_bench_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+
+        update_json_section(&path, "route_hot_path", "{ \"ns\": 9000 }").unwrap();
+        update_json_section(&path, "batched_ops", "{ \"ns\": 1200 }").unwrap();
+        update_json_section(&path, "route_hot_path", "{ \"ns\": 8500 }").unwrap();
+
+        let content = std::fs::read_to_string(&path).unwrap();
+        let sections = split_top_level(&content).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "route_hot_path");
+        assert!(sections[0].1.contains("8500"));
+        assert_eq!(sections[1].0, "batched_ops");
+        assert!(sections[1].1.contains("1200"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

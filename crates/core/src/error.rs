@@ -1,0 +1,186 @@
+//! The unified error taxonomy of the overlay API.
+//!
+//! Historically each operation family had its own error type:
+//! [`JoinError`] for insertions, [`OverlayError`] for everything that
+//! references an existing object, and `String` for invariant checks.  The
+//! backend-agnostic `Overlay` trait (crate `voronet-api`) needs one taxonomy
+//! covering every engine (including failure modes only the message-driven
+//! runtime has, such as an operation lost to the network), so this module
+//! defines [`VoronetError`] — a machine-matchable [`ErrorKind`] plus an
+//! optional human-readable context string — and `From` conversions from the
+//! legacy types, which remain in place so existing call sites keep
+//! compiling.
+
+use crate::object::ObjectId;
+use crate::overlay::{JoinError, OverlayError};
+
+/// Machine-matchable classification of an overlay failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The referenced object is not (or no longer) part of the overlay.
+    UnknownObject(ObjectId),
+    /// An object already occupies exactly the requested position.
+    DuplicatePosition(ObjectId),
+    /// The position lies outside the overlay's attribute domain.
+    OutsideDomain,
+    /// The position has a non-finite coordinate.
+    NotFinite,
+    /// The named bootstrap object does not exist.
+    UnknownBootstrap(ObjectId),
+    /// A message-driven operation never completed: its protocol messages
+    /// were lost to the network (loss, partition, dead letters).
+    OperationLost,
+    /// A structural invariant of the overlay does not hold (the context
+    /// carries the diagnostic).
+    InvariantViolation,
+}
+
+/// The single error type of the overlay API: what went wrong
+/// ([`ErrorKind`]) plus optional free-form context for diagnostics.
+///
+/// Constructed either directly or via `From` conversions from the legacy
+/// per-family error types ([`JoinError`], [`OverlayError`]), which both map
+/// losslessly onto [`ErrorKind`] variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoronetError {
+    kind: ErrorKind,
+    context: Option<String>,
+}
+
+impl VoronetError {
+    /// Creates an error with no context.
+    pub fn new(kind: ErrorKind) -> Self {
+        VoronetError {
+            kind,
+            context: None,
+        }
+    }
+
+    /// Creates an error carrying a context string.
+    pub fn with_context(kind: ErrorKind, context: impl Into<String>) -> Self {
+        VoronetError {
+            kind,
+            context: Some(context.into()),
+        }
+    }
+
+    /// An [`ErrorKind::InvariantViolation`] carrying its diagnostic.
+    pub fn invariant(detail: impl Into<String>) -> Self {
+        VoronetError::with_context(ErrorKind::InvariantViolation, detail)
+    }
+
+    /// The failure classification.
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// The context string, when one was attached.
+    pub fn context(&self) -> Option<&str> {
+        self.context.as_deref()
+    }
+
+    /// Returns `self` with `context` attached (replacing any existing one).
+    pub fn context_str(mut self, context: impl Into<String>) -> Self {
+        self.context = Some(context.into());
+        self
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorKind::UnknownObject(o) => write!(f, "object {o} is not in the overlay"),
+            ErrorKind::DuplicatePosition(o) => {
+                write!(f, "an object ({o}) already occupies this position")
+            }
+            ErrorKind::OutsideDomain => write!(f, "position outside the attribute domain"),
+            ErrorKind::NotFinite => write!(f, "position has a non-finite coordinate"),
+            ErrorKind::UnknownBootstrap(o) => write!(f, "bootstrap object {o} is unknown"),
+            ErrorKind::OperationLost => {
+                write!(
+                    f,
+                    "the operation's protocol messages were lost in the network"
+                )
+            }
+            ErrorKind::InvariantViolation => write!(f, "overlay invariant violated"),
+        }
+    }
+}
+
+impl std::fmt::Display for VoronetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.context {
+            Some(ctx) => write!(f, "{}: {ctx}", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+impl std::error::Error for VoronetError {}
+
+impl From<OverlayError> for VoronetError {
+    fn from(e: OverlayError) -> Self {
+        match e {
+            OverlayError::UnknownObject(o) => VoronetError::new(ErrorKind::UnknownObject(o)),
+        }
+    }
+}
+
+impl From<JoinError> for VoronetError {
+    fn from(e: JoinError) -> Self {
+        match e {
+            JoinError::DuplicatePosition(o) => VoronetError::new(ErrorKind::DuplicatePosition(o)),
+            JoinError::OutsideDomain => VoronetError::new(ErrorKind::OutsideDomain),
+            JoinError::NotFinite => VoronetError::new(ErrorKind::NotFinite),
+            JoinError::UnknownBootstrap(o) => VoronetError::new(ErrorKind::UnknownBootstrap(o)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_errors_convert_losslessly() {
+        let e: VoronetError = OverlayError::UnknownObject(ObjectId(4)).into();
+        assert_eq!(e.kind(), &ErrorKind::UnknownObject(ObjectId(4)));
+        assert!(e.context().is_none());
+
+        let e: VoronetError = JoinError::DuplicatePosition(ObjectId(7)).into();
+        assert_eq!(e.kind(), &ErrorKind::DuplicatePosition(ObjectId(7)));
+        let e: VoronetError = JoinError::OutsideDomain.into();
+        assert_eq!(e.kind(), &ErrorKind::OutsideDomain);
+        let e: VoronetError = JoinError::NotFinite.into();
+        assert_eq!(e.kind(), &ErrorKind::NotFinite);
+        let e: VoronetError = JoinError::UnknownBootstrap(ObjectId(9)).into();
+        assert_eq!(e.kind(), &ErrorKind::UnknownBootstrap(ObjectId(9)));
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = VoronetError::invariant("close relation o1 ↔ o2 is not symmetric");
+        assert_eq!(e.kind(), &ErrorKind::InvariantViolation);
+        let text = e.to_string();
+        assert!(text.contains("invariant violated"));
+        assert!(text.contains("not symmetric"));
+        let bare = VoronetError::new(ErrorKind::OutsideDomain);
+        assert_eq!(bare.to_string(), "position outside the attribute domain");
+    }
+
+    #[test]
+    fn question_mark_conversion_compiles() {
+        fn inner(fail: bool) -> Result<(), VoronetError> {
+            if fail {
+                Err(OverlayError::UnknownObject(ObjectId(1)))?;
+            }
+            Ok(())
+        }
+        assert!(inner(false).is_ok());
+        assert!(matches!(
+            inner(true).unwrap_err().kind(),
+            ErrorKind::UnknownObject(_)
+        ));
+    }
+}

@@ -35,6 +35,7 @@
 pub mod arena;
 pub mod config;
 pub mod dynamic;
+pub mod error;
 pub mod experiments;
 pub mod object;
 pub mod overlay;
@@ -45,11 +46,12 @@ pub mod runtime;
 pub use arena::{NodeArena, NodeIndex, NodeSlot};
 pub use config::{DminRule, VoroNetConfig};
 pub use dynamic::{adapt_nmax, AdaptationPolicy, AdaptationReport, RefreshStrategy};
+pub use error::{ErrorKind, VoronetError};
 pub use object::{BackLink, LinkIndex, LongLink, ObjectId, ObjectView, ViewRef};
 pub use overlay::{JoinError, JoinReport, LeaveReport, OverlayError, RouteReport, VoroNet};
 pub use protocol::{algorithm5_route, Algorithm5Report, StopReason};
 pub use queries::{radius_query, range_query, segment_query, AreaQueryReport, SegmentQueryReport};
 pub use runtime::{
-    run_scenario, AsyncOverlay, ProtocolMsg, RoutePurpose, RoutingMode, ScenarioCounters,
-    ScenarioReport,
+    run_scenario, AsyncOverlay, OpToken, ProtocolMsg, RoutePurpose, RoutingMode, ScenarioCounters,
+    ScenarioReport, UNTRACKED,
 };

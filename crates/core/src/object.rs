@@ -139,7 +139,7 @@ impl<'a> ViewRef<'a> {
 
 /// Public, read-only description of an object's view — the data structure
 /// the paper describes in Section 3.1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectView {
     /// The object described.
     pub id: ObjectId,

@@ -47,9 +47,10 @@
 //! and the workload RNG consume randomness in event order.
 
 use crate::config::VoroNetConfig;
+use crate::error::{ErrorKind, VoronetError};
 use crate::object::{ObjectId, ObjectView};
 use crate::overlay::{JoinError, VoroNet};
-use crate::queries::range_query;
+use crate::queries::{radius_query, range_query, AreaQueryReport};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
@@ -58,7 +59,7 @@ use voronet_sim::{
     Delivered, DeliveryStats, MessageKind, NetworkModel, NodeId, RouteStats, Runtime, Scenario,
     ScenarioOp, SimTime, TrafficStats,
 };
-use voronet_workloads::RangeQuery;
+use voronet_workloads::{RadiusQuery, RangeQuery};
 
 /// Highest provisional sender id handed to joining objects.  Each join
 /// request is sent from a *unique* provisional id counting down from here,
@@ -73,6 +74,15 @@ pub fn is_joiner(node: NodeId) -> bool {
     node > NodeId::MAX - (1 << 32)
 }
 
+/// Correlation token attached to externally issued operations so their
+/// results can be collected after quiescence.  `UNTRACKED` (0) marks
+/// scenario-scripted operations whose individual results nobody waits for.
+pub type OpToken = u64;
+
+/// Token of operations whose result is not collected (scripted scenario
+/// traffic).
+pub const UNTRACKED: OpToken = 0;
+
 /// Why a route is being executed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RoutePurpose {
@@ -80,13 +90,27 @@ pub enum RoutePurpose {
     Join {
         /// Position of the joining object.
         position: Point2,
+        /// Result-correlation token ([`UNTRACKED`] for scripted joins).
+        token: OpToken,
     },
     /// A point query: record the hop count and answer the origin.
-    Query,
+    Query {
+        /// Result-correlation token ([`UNTRACKED`] for scripted routes).
+        token: OpToken,
+    },
     /// An area query: on arrival, flood the target rectangle.
     AreaQuery {
         /// Queried rectangle.
         rect: Rect,
+        /// Result-correlation token ([`UNTRACKED`] for scripted queries).
+        token: OpToken,
+    },
+    /// A radius (disk) query: on arrival, flood the target disk.
+    RadiusQuery {
+        /// Queried disk.
+        query: RadiusQuery,
+        /// Result-correlation token ([`UNTRACKED`] for scripted queries).
+        token: OpToken,
     },
 }
 
@@ -97,6 +121,8 @@ pub enum ProtocolMsg {
     Join {
         /// Position the new object wants to publish.
         position: Point2,
+        /// Result-correlation token ([`UNTRACKED`] for scripted joins).
+        token: OpToken,
     },
     /// One greedy forwarding step (`Spawn(Route, …)` in the paper).
     RouteStep {
@@ -124,6 +150,9 @@ pub enum ProtocolMsg {
     Answer {
         /// Hop count of the completed route.
         hops: u32,
+        /// Result-correlation token of the operation being answered
+        /// ([`UNTRACKED`] for scripted traffic).
+        token: OpToken,
     },
 }
 
@@ -212,9 +241,25 @@ pub struct AsyncOverlay {
     mode: RoutingMode,
     routes: RouteStats,
     counters: ScenarioCounters,
-    /// `(owner, hops)` of the most recently completed query route — lets
-    /// callers measure a single message-driven route.
-    last_route: Option<(ObjectId, u32)>,
+    /// Next token handed to an externally issued (tracked) operation.
+    next_token: OpToken,
+    /// Completed tracked routes, keyed by token (drained by
+    /// [`AsyncOverlay::take_route_result`]).  A route is *complete* when
+    /// its answer message reaches the origin — an answer lost to the
+    /// network fails the operation, exactly as the issuing node would
+    /// experience it.
+    route_results: HashMap<OpToken, (ObjectId, u32)>,
+    /// Completed tracked area/radius queries, keyed by token (answer
+    /// delivered to the origin).
+    area_results: HashMap<OpToken, AreaQueryReport>,
+    /// Reports of tracked area/radius queries whose flood completed at the
+    /// responsible node but whose answer is still in flight; claimed into
+    /// [`AsyncOverlay::area_results`] when the answer arrives, dropped if
+    /// it never does.
+    pending_area: HashMap<OpToken, AreaQueryReport>,
+    /// Outcomes of tracked join requests (id on success, the join error
+    /// otherwise), keyed by token.
+    join_results: HashMap<OpToken, Result<ObjectId, JoinError>>,
     /// Next provisional sender id for a join request (counts down from
     /// [`JOINER`]).
     next_joiner: NodeId,
@@ -235,7 +280,11 @@ impl AsyncOverlay {
             mode: RoutingMode::default(),
             routes: RouteStats::new(),
             counters: ScenarioCounters::default(),
-            last_route: None,
+            next_token: 1,
+            route_results: HashMap::new(),
+            area_results: HashMap::new(),
+            pending_area: HashMap::new(),
+            join_results: HashMap::new(),
             next_joiner: JOINER,
             min_population: 8,
         }
@@ -335,10 +384,123 @@ impl AsyncOverlay {
     /// when the route was lost to the network.
     pub fn measure_route(&mut self, from: ObjectId, to: ObjectId) -> Option<(ObjectId, u32)> {
         let target = self.net.coords(to)?;
-        self.last_route = None;
-        self.start_route(from, target, RoutePurpose::Query);
+        let token = self.start_query_route(from, target).ok()?;
         self.run_to_quiescence();
-        self.last_route
+        self.take_route_result(token)
+    }
+
+    // ------------------------------------------------------------------
+    // Externally issued (tracked) operations — the driver API behind the
+    // backend-agnostic `voronet-api` engines.  Each `start_*` injects the
+    // operation's first protocol message and returns a correlation token;
+    // once the runtime has been stepped to quiescence the matching `take_*`
+    // yields the result (`None` when the operation's messages were lost to
+    // the network).
+    // ------------------------------------------------------------------
+
+    /// Injects a tracked join request for an object at `position`, exactly
+    /// as a scripted [`ScenarioOp::Join`] would, except that the bootstrap
+    /// node is drawn from the *overlay's* RNG ([`VoroNet::draw_bootstrap`])
+    /// so a sequential join consumes randomness in the same order as the
+    /// synchronous [`VoroNet::insert`].  The outcome is retrieved with
+    /// [`AsyncOverlay::take_join_result`] after quiescence.
+    pub fn request_join(&mut self, position: Point2) -> OpToken {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.inject_join(position, token);
+        token
+    }
+
+    /// The outcome of the tracked join request `token`: the new object's
+    /// id, the [`JoinError`] that rejected it, or `None` when the join has
+    /// not completed (still in flight, or lost to the network).  Unlike
+    /// routes and queries, the join protocol has no answer leg — the
+    /// outcome is the overlay membership itself, recorded when
+    /// `AddVoronoiRegion` executes at the region owner.
+    pub fn take_join_result(&mut self, token: OpToken) -> Option<Result<ObjectId, JoinError>> {
+        self.join_results.remove(&token)
+    }
+
+    /// Graceful departure of a *specific* live object (scripted
+    /// [`ScenarioOp::Leave`] picks a random one): neighbourhood
+    /// notifications are sent, then the object withdraws.
+    pub fn request_leave(&mut self, id: ObjectId) -> Result<(), VoronetError> {
+        if !self.net.contains(id) {
+            return Err(VoronetError::new(ErrorKind::UnknownObject(id)));
+        }
+        self.depart(id);
+        Ok(())
+    }
+
+    /// Starts a tracked message-driven point route from `from` towards
+    /// `target`; the result is collected with
+    /// [`AsyncOverlay::take_route_result`] after quiescence.
+    pub fn start_query_route(
+        &mut self,
+        from: ObjectId,
+        target: Point2,
+    ) -> Result<OpToken, VoronetError> {
+        if !self.net.contains(from) {
+            return Err(VoronetError::new(ErrorKind::UnknownObject(from)));
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.start_route(from, target, RoutePurpose::Query { token });
+        Ok(token)
+    }
+
+    /// `(owner, hops)` of the tracked route `token`, `None` when its
+    /// answer has not reached the origin (request or answer still in
+    /// flight, or lost to the network).
+    pub fn take_route_result(&mut self, token: OpToken) -> Option<(ObjectId, u32)> {
+        self.route_results.remove(&token)
+    }
+
+    /// Starts a tracked message-driven rectangular area query issued by
+    /// `from`; the report is collected with
+    /// [`AsyncOverlay::take_area_result`] after quiescence.
+    pub fn start_area_query(
+        &mut self,
+        from: ObjectId,
+        rect: Rect,
+    ) -> Result<OpToken, VoronetError> {
+        if !self.net.contains(from) {
+            return Err(VoronetError::new(ErrorKind::UnknownObject(from)));
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.start_route(from, rect.center(), RoutePurpose::AreaQuery { rect, token });
+        Ok(token)
+    }
+
+    /// Starts a tracked message-driven radius (disk) query issued by
+    /// `from`; the report is collected with
+    /// [`AsyncOverlay::take_area_result`] after quiescence.
+    pub fn start_radius_query(
+        &mut self,
+        from: ObjectId,
+        query: RadiusQuery,
+    ) -> Result<OpToken, VoronetError> {
+        if !self.net.contains(from) {
+            return Err(VoronetError::new(ErrorKind::UnknownObject(from)));
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.start_route(
+            from,
+            query.center,
+            RoutePurpose::RadiusQuery { query, token },
+        );
+        Ok(token)
+    }
+
+    /// The report of the tracked area/radius query `token`, `None` when
+    /// its answer has not reached the origin.  Taking a token also drops
+    /// any owner-side report whose answer was lost, so abandoned
+    /// operations do not accumulate.
+    pub fn take_area_result(&mut self, token: OpToken) -> Option<AreaQueryReport> {
+        self.pending_area.remove(&token);
+        self.area_results.remove(&token)
     }
 
     /// Consumes the overlay into a report.
@@ -364,10 +526,10 @@ impl AsyncOverlay {
             Delivered::Message { envelope, .. } => {
                 let at = ObjectId(envelope.to);
                 match envelope.payload {
-                    ProtocolMsg::Join { position } => {
+                    ProtocolMsg::Join { position, token } => {
                         // The bootstrap node starts routing the join request
                         // towards the region owner.
-                        self.start_route(at, position, RoutePurpose::Join { position });
+                        self.start_route(at, position, RoutePurpose::Join { position, token });
                     }
                     ProtocolMsg::RouteStep {
                         target,
@@ -390,40 +552,74 @@ impl AsyncOverlay {
                             );
                         }
                     }
-                    ProtocolMsg::Answer { .. } => {
+                    ProtocolMsg::Answer { hops, token } => {
                         self.counters.answers_received += 1;
+                        if token != UNTRACKED {
+                            // The operation is complete for its issuer only
+                            // now that the answer has arrived.  The sender
+                            // of an answer is the responsible node (the
+                            // route owner).
+                            match self.pending_area.remove(&token) {
+                                Some(report) => {
+                                    self.area_results.insert(token, report);
+                                }
+                                None => {
+                                    self.route_results
+                                        .insert(token, (ObjectId(envelope.from), hops));
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
     }
 
-    fn inject_op(&mut self, op: ScenarioOp) {
-        match op {
-            ScenarioOp::Join { at } => {
-                self.counters.joins_requested += 1;
-                if self.net.is_empty() {
-                    // The very first object needs no network.
-                    match self.net.insert(at) {
-                        Ok(r) => {
-                            self.runtime.spawn(r.id.0);
-                            self.refresh_view(r.id);
-                            self.counters.joins_completed += 1;
-                        }
-                        Err(_) => self.counters.joins_failed += 1,
+    /// Shared join-injection path: the very first object is inserted
+    /// directly (it needs no network); every other join sends a
+    /// [`ProtocolMsg::Join`] from a fresh provisional id to a bootstrap
+    /// object drawn from the overlay's RNG (matching the synchronous
+    /// [`VoroNet::insert`] draw order).
+    fn inject_join(&mut self, position: Point2, token: OpToken) {
+        self.counters.joins_requested += 1;
+        match self.net.draw_bootstrap() {
+            None => {
+                // The very first object needs no network.
+                match self.net.insert_from(position, None) {
+                    Ok(r) => {
+                        self.runtime.spawn(r.id.0);
+                        self.refresh_view(r.id);
+                        self.counters.joins_completed += 1;
+                        self.record_join(token, Ok(r.id));
                     }
-                    return;
+                    Err(e) => {
+                        self.counters.joins_failed += 1;
+                        self.record_join(token, Err(e));
+                    }
                 }
-                let bootstrap = self.random_live();
+            }
+            Some(bootstrap) => {
                 let joiner = self.next_joiner;
                 self.next_joiner -= 1;
                 self.runtime.send(
                     joiner,
                     bootstrap.0,
                     MessageKind::Other,
-                    ProtocolMsg::Join { position: at },
+                    ProtocolMsg::Join { position, token },
                 );
             }
+        }
+    }
+
+    fn record_join(&mut self, token: OpToken, outcome: Result<ObjectId, JoinError>) {
+        if token != UNTRACKED {
+            self.join_results.insert(token, outcome);
+        }
+    }
+
+    fn inject_op(&mut self, op: ScenarioOp) {
+        match op {
+            ScenarioOp::Join { at } => self.inject_join(at, UNTRACKED),
             ScenarioOp::Leave => {
                 if self.net.len() <= self.min_population {
                     self.counters.ops_skipped += 1;
@@ -438,7 +634,7 @@ impl AsyncOverlay {
                     return;
                 };
                 let target = self.net.coords(b).expect("picked live object");
-                self.start_route(a, target, RoutePurpose::Query);
+                self.start_route(a, target, RoutePurpose::Query { token: UNTRACKED });
             }
             ScenarioOp::RouteTo { target } => {
                 if self.net.is_empty() {
@@ -446,7 +642,7 @@ impl AsyncOverlay {
                     return;
                 }
                 let from = self.random_live();
-                self.start_route(from, target, RoutePurpose::Query);
+                self.start_route(from, target, RoutePurpose::Query { token: UNTRACKED });
             }
             ScenarioOp::AreaQuery { rect } => {
                 if self.net.is_empty() {
@@ -454,7 +650,14 @@ impl AsyncOverlay {
                     return;
                 }
                 let from = self.random_live();
-                self.start_route(from, rect.center(), RoutePurpose::AreaQuery { rect });
+                self.start_route(
+                    from,
+                    rect.center(),
+                    RoutePurpose::AreaQuery {
+                        rect,
+                        token: UNTRACKED,
+                    },
+                );
             }
             ScenarioOp::Ping => {
                 let Some((a, b)) = self.random_live_pair() else {
@@ -477,7 +680,7 @@ impl AsyncOverlay {
     // ------------------------------------------------------------------
 
     fn start_route(&mut self, from: ObjectId, target: Point2, purpose: RoutePurpose) {
-        if matches!(purpose, RoutePurpose::Query) {
+        if matches!(purpose, RoutePurpose::Query { .. }) {
             self.counters.routes_started += 1;
         }
         self.route_step(from, target, from.0, 0, purpose);
@@ -596,37 +799,65 @@ impl AsyncOverlay {
         purpose: RoutePurpose,
     ) {
         match purpose {
-            RoutePurpose::Join { position } => self.complete_join(owner, position),
-            RoutePurpose::Query => {
+            RoutePurpose::Join { position, token } => self.complete_join(owner, position, token),
+            RoutePurpose::Query { token } => {
+                // `routes_completed` counts protocol-level completions at
+                // the responsible node; the *issuer's* tracked result is
+                // recorded only when the answer below survives the trip
+                // back to the origin.
                 self.routes.record(hops);
                 self.counters.routes_completed += 1;
-                self.last_route = Some((owner, hops));
                 self.runtime.send(
                     owner.0,
                     origin,
                     MessageKind::QueryAnswer,
-                    ProtocolMsg::Answer { hops },
+                    ProtocolMsg::Answer { hops, token },
                 );
             }
-            RoutePurpose::AreaQuery { rect } => {
-                if let Ok(report) = range_query(&mut self.net, owner, RangeQuery { rect }) {
-                    self.counters.area_queries_completed += 1;
-                    self.counters.area_query_matches += report.matches.len() as u64;
-                    // The flood phase is executed synchronously (it is a
-                    // local wavefront over Voronoi edges); its per-hop cost
-                    // is still accounted as protocol traffic.
-                    for _ in 0..report.flood_messages {
-                        self.runtime.record_traffic(owner.0, MessageKind::Other);
-                    }
-                    self.runtime.send(
-                        owner.0,
-                        origin,
-                        MessageKind::QueryAnswer,
-                        ProtocolMsg::Answer { hops },
-                    );
-                }
+            RoutePurpose::AreaQuery { rect, token } => {
+                let report = range_query(&mut self.net, owner, RangeQuery { rect });
+                self.complete_area_query(report, owner, origin, hops, token);
+            }
+            RoutePurpose::RadiusQuery { query, token } => {
+                let report = radius_query(&mut self.net, owner, query);
+                self.complete_area_query(report, owner, origin, hops, token);
             }
         }
+    }
+
+    /// Shared completion of the flood phase of an area/radius query: the
+    /// flood itself is executed synchronously (it is a local wavefront over
+    /// Voronoi edges); its per-hop cost is still accounted as protocol
+    /// traffic.
+    fn complete_area_query(
+        &mut self,
+        report: Result<AreaQueryReport, crate::overlay::OverlayError>,
+        owner: ObjectId,
+        origin: NodeId,
+        hops: u32,
+        token: OpToken,
+    ) {
+        let Ok(mut report) = report else { return };
+        // The flood skeleton was entered at the owner the message-driven
+        // route already reached, so its own routing phase is trivial; the
+        // report's routing hops are the hops of the message-driven route.
+        report.routing_hops = hops;
+        self.counters.area_queries_completed += 1;
+        self.counters.area_query_matches += report.matches.len() as u64;
+        for _ in 0..report.flood_messages {
+            self.runtime.record_traffic(owner.0, MessageKind::Other);
+        }
+        if token != UNTRACKED {
+            // Parked until the answer reaches the origin (see the
+            // `Answer` handler); lost answers fail the query.
+            self.pending_area.insert(token, report);
+        }
+        self.runtime.send(
+            owner.0,
+            origin,
+            MessageKind::QueryAnswer,
+            ProtocolMsg::Answer { hops, token },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -636,13 +867,14 @@ impl AsyncOverlay {
     /// `AddVoronoiRegion` at the region owner: insert the object into the
     /// authoritative tessellation, spawn its replica with a fresh view, and
     /// notify every affected node so it refreshes its own.
-    fn complete_join(&mut self, owner: ObjectId, position: Point2) {
+    fn complete_join(&mut self, owner: ObjectId, position: Point2, token: OpToken) {
         match self.net.insert_from(position, Some(owner)) {
             Ok(report) => {
                 let id = report.id;
                 self.runtime.spawn(id.0);
                 self.refresh_view(id);
                 self.counters.joins_completed += 1;
+                self.record_join(token, Ok(id));
                 for peer in self.affected_by(id) {
                     self.runtime.send(
                         id.0,
@@ -652,8 +884,9 @@ impl AsyncOverlay {
                     );
                 }
             }
-            Err(_) => {
+            Err(e) => {
                 self.counters.joins_failed += 1;
+                self.record_join(token, Err(e));
             }
         }
     }

@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod ops;
 pub mod queries;
 
 pub use distribution::{Distribution, PointGenerator, ZIPF_VALUES};
+pub use ops::{OpBatchGenerator, OpMix, WorkloadOp};
 pub use queries::{QueryGenerator, RadiusQuery, RangeQuery};

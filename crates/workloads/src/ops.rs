@@ -1,0 +1,280 @@
+//! Backend-agnostic operation scripts for batched overlay workloads.
+//!
+//! The overlay API layer (`voronet-api`) submits work as typed batches of
+//! operations.  This module generates the *scripts* for those batches
+//! without naming any engine type: participants are referred to by **dense
+//! population index** (the `idx < len()` sampling order every overlay
+//! exposes), and positions/queries come from the same seeded generators
+//! that drive the paper experiments.  The API layer resolves the indices
+//! against a concrete engine at submission time.
+
+use crate::distribution::{Distribution, PointGenerator};
+use crate::queries::{QueryGenerator, RadiusQuery, RangeQuery};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use voronet_geom::{Point2, Rect};
+
+/// One scripted overlay operation with participants named by dense
+/// population index (resolved to object ids by the submitting layer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadOp {
+    /// Publish a new object at `position`.
+    Insert {
+        /// Attribute coordinates of the new object.
+        position: Point2,
+    },
+    /// Remove the `index`-th live object (modulo the live population).
+    Remove {
+        /// Dense population index of the departing object.
+        index: usize,
+    },
+    /// Route from the `from`-th live object to the `to`-th (indices taken
+    /// modulo the live population; a degenerate self-route is allowed and
+    /// resolves in zero hops).
+    Route {
+        /// Dense population index of the source object.
+        from: usize,
+        /// Dense population index of the destination object.
+        to: usize,
+    },
+    /// Rectangular range query issued by the `from`-th live object.
+    Range {
+        /// Dense population index of the issuing object.
+        from: usize,
+        /// The queried rectangle.
+        query: RangeQuery,
+    },
+    /// Radius (disk) query issued by the `from`-th live object.
+    Radius {
+        /// Dense population index of the issuing object.
+        from: usize,
+        /// The queried disk.
+        query: RadiusQuery,
+    },
+}
+
+/// Relative frequencies of the operation families in a generated batch.
+/// The weights need not sum to 1 — they are normalised; families with
+/// weight 0 never appear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Weight of [`WorkloadOp::Insert`].
+    pub insert: f64,
+    /// Weight of [`WorkloadOp::Remove`].
+    pub remove: f64,
+    /// Weight of [`WorkloadOp::Route`].
+    pub route: f64,
+    /// Weight of [`WorkloadOp::Range`].
+    pub range: f64,
+    /// Weight of [`WorkloadOp::Radius`].
+    pub radius: f64,
+}
+
+impl OpMix {
+    /// A read-mostly mix: 80% routes, 10% inserts, 5% removals, 5% area
+    /// queries — the shape of a query-serving deployment.
+    pub fn read_heavy() -> Self {
+        OpMix {
+            insert: 0.10,
+            remove: 0.05,
+            route: 0.80,
+            range: 0.025,
+            radius: 0.025,
+        }
+    }
+
+    /// A churn-heavy mix: 35% inserts, 25% removals, 40% routes.
+    pub fn churn_heavy() -> Self {
+        OpMix {
+            insert: 0.35,
+            remove: 0.25,
+            route: 0.40,
+            range: 0.0,
+            radius: 0.0,
+        }
+    }
+
+    /// Routes only (the Figure 6 measurement workload, in batch form).
+    pub fn routes_only() -> Self {
+        OpMix {
+            insert: 0.0,
+            remove: 0.0,
+            route: 1.0,
+            range: 0.0,
+            radius: 0.0,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.insert + self.remove + self.route + self.range + self.radius
+    }
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix::read_heavy()
+    }
+}
+
+/// Seeded generator of [`WorkloadOp`] batches: insert positions follow an
+/// object-placement [`Distribution`], queries come from a
+/// [`QueryGenerator`], and the op sequence is drawn from an [`OpMix`] —
+/// all deterministic for a given seed.
+#[derive(Debug)]
+pub struct OpBatchGenerator {
+    mix: OpMix,
+    rng: StdRng,
+    points: PointGenerator,
+    queries: QueryGenerator,
+    /// Largest relative extent of generated range queries (fraction of the
+    /// domain side).
+    max_query_extent: f64,
+}
+
+impl OpBatchGenerator {
+    /// Creates a generator over the unit square.
+    pub fn new(dist: Distribution, seed: u64, mix: OpMix) -> Self {
+        Self::with_domain(dist, seed, mix, Rect::UNIT)
+    }
+
+    /// Creates a generator over an arbitrary domain.
+    pub fn with_domain(dist: Distribution, seed: u64, mix: OpMix, domain: Rect) -> Self {
+        OpBatchGenerator {
+            mix,
+            rng: StdRng::seed_from_u64(seed ^ 0x0B_A7C4),
+            points: PointGenerator::with_domain(dist, seed ^ 0x9E37, domain),
+            queries: QueryGenerator::with_domain(seed ^ 0xA3EA, domain),
+            max_query_extent: 0.1,
+        }
+    }
+
+    /// Sets the largest relative extent of generated range/radius queries.
+    pub fn with_max_query_extent(mut self, extent: f64) -> Self {
+        self.max_query_extent = extent.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the next batch of `len` operations.
+    ///
+    /// `population` is the submitter's estimate of the live population when
+    /// the batch will run; participant indices are drawn below
+    /// `max(population, 1)` and the generator tracks the net insert/remove
+    /// balance within the batch so later indices stay meaningful.  Mixes
+    /// with removals never script the population below 2.
+    pub fn batch(&mut self, population: usize, len: usize) -> Vec<WorkloadOp> {
+        let total = self.mix.total();
+        let mut pop = population.max(1);
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let op = if total <= 0.0 {
+                self.route_op(pop)
+            } else {
+                let u: f64 = self.rng.random::<f64>() * total;
+                let after_insert = self.mix.insert;
+                let after_remove = after_insert + self.mix.remove;
+                let after_route = after_remove + self.mix.route;
+                let after_range = after_route + self.mix.range;
+                if u < after_insert {
+                    pop += 1;
+                    WorkloadOp::Insert {
+                        position: self.points.next_point(),
+                    }
+                } else if u < after_remove && pop > 2 {
+                    let index = self.rng.random_range(0..pop);
+                    pop -= 1;
+                    WorkloadOp::Remove { index }
+                } else if u < after_route || pop < 2 {
+                    // Removal draws that hit the population floor also land
+                    // here: a route is always executable.
+                    self.route_op(pop)
+                } else if u < after_range {
+                    WorkloadOp::Range {
+                        from: self.rng.random_range(0..pop),
+                        query: self.queries.range_query(self.max_query_extent),
+                    }
+                } else {
+                    WorkloadOp::Radius {
+                        from: self.rng.random_range(0..pop),
+                        query: self.queries.radius_query(self.max_query_extent),
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    fn route_op(&mut self, pop: usize) -> WorkloadOp {
+        if pop < 2 {
+            WorkloadOp::Route { from: 0, to: 0 }
+        } else {
+            let (from, to) = self.queries.object_pair(pop);
+            WorkloadOp::Route { from, to }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic() {
+        let mut a = OpBatchGenerator::new(Distribution::Uniform, 9, OpMix::default());
+        let mut b = OpBatchGenerator::new(Distribution::Uniform, 9, OpMix::default());
+        assert_eq!(a.batch(100, 200), b.batch(100, 200));
+    }
+
+    #[test]
+    fn mix_weights_shape_the_batch() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 3, OpMix::routes_only());
+        let batch = g.batch(50, 500);
+        assert!(batch
+            .iter()
+            .all(|op| matches!(op, WorkloadOp::Route { .. })));
+
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 3, OpMix::read_heavy());
+        let batch = g.batch(50, 2_000);
+        let routes = batch
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Route { .. }))
+            .count();
+        let inserts = batch
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Insert { .. }))
+            .count();
+        assert!((1_400..=1_800).contains(&routes), "routes {routes}");
+        assert!((100..=300).contains(&inserts), "inserts {inserts}");
+    }
+
+    #[test]
+    fn participant_indices_track_the_scripted_population() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 7, OpMix::churn_heavy());
+        let mut pop = 20usize;
+        for op in g.batch(pop, 1_000) {
+            match op {
+                WorkloadOp::Insert { .. } => pop += 1,
+                WorkloadOp::Remove { index } => {
+                    assert!(index < pop, "remove index {index} vs population {pop}");
+                    pop -= 1;
+                }
+                WorkloadOp::Route { from, to } => {
+                    assert!(from < pop && to < pop);
+                }
+                WorkloadOp::Range { from, .. } | WorkloadOp::Radius { from, .. } => {
+                    assert!(from < pop);
+                }
+            }
+            assert!(pop >= 2, "mix must not script the population below 2");
+        }
+    }
+
+    #[test]
+    fn tiny_population_degenerates_gracefully() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 5, OpMix::routes_only());
+        let batch = g.batch(1, 10);
+        assert!(batch
+            .iter()
+            .all(|op| matches!(op, WorkloadOp::Route { from: 0, to: 0 })));
+    }
+}

@@ -1,5 +1,6 @@
-//! Quickstart: build a small VoroNet overlay, publish objects, route a few
-//! queries and inspect one object's view.
+//! Quickstart: build a small VoroNet overlay through the backend-agnostic
+//! API, publish objects, route queries (single and batched) and inspect
+//! one object's view.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,9 +9,11 @@
 use voronet::prelude::*;
 
 fn main() {
-    // An overlay provisioned for up to 10 000 objects, one long link each.
-    let config = VoroNetConfig::new(10_000).with_seed(42);
-    let mut net = VoroNet::new(config);
+    // An overlay provisioned for up to 10 000 objects, one long link each,
+    // built on the synchronous engine.  Swapping in the message-driven
+    // engine is `.engine(EngineKind::Async).build()` — same trait, same
+    // program (see the `engines` example).
+    let mut net = OverlayBuilder::new(10_000).seed(42).build_sync();
 
     // Publish 2 000 objects drawn uniformly from the attribute space.  In a
     // real deployment each object would be published by the physical node
@@ -18,30 +21,24 @@ fn main() {
     let mut generator = PointGenerator::new(Distribution::Uniform, 7);
     let mut ids = Vec::new();
     while ids.len() < 2_000 {
-        if let Ok(report) = net.insert(generator.next_point()) {
-            ids.push(report.id);
+        if let Ok(outcome) = net.insert(generator.next_point()) {
+            ids.push(outcome.id);
         }
     }
     println!(
         "published {} objects (d_min = {:.5})",
         net.len(),
-        net.dmin()
+        net.config().dmin()
     );
 
     // Greedy routing between two random objects.
     let route = net.route_between(ids[17], ids[1_900]).unwrap();
-    println!(
-        "route {} -> {}: {} hops through {} objects",
-        ids[17],
-        ids[1_900],
-        route.hops,
-        route.path.len()
-    );
+    println!("route {} -> {}: {} hops", ids[17], ids[1_900], route.hops);
 
-    // Point query: which object is responsible for an arbitrary point of the
-    // attribute space?
+    // Point query: which object is responsible for an arbitrary point of
+    // the attribute space?
     let query = Point2::new(0.42, 0.66);
-    let answer = net.handle_query(ids[0], query).unwrap();
+    let answer = net.route(ids[0], query).unwrap();
     println!(
         "query {query} answered by {} at {} after {} hops",
         answer.owner,
@@ -51,7 +48,7 @@ fn main() {
 
     // The view an object maintains: Voronoi neighbours, close neighbours,
     // long links and back-long-range pointers (Section 3.1 of the paper).
-    let view = net.view(answer.owner).unwrap();
+    let view = net.snapshot(answer.owner).unwrap();
     println!(
         "owner's view: {} voronoi neighbours, {} close, {} long links, {} back links ({} entries total)",
         view.voronoi_neighbours.len(),
@@ -61,23 +58,45 @@ fn main() {
         view.size()
     );
 
-    // Degree statistics: the mode of |vn(o)| is 6 regardless of distribution.
-    let degrees = net.degree_histogram();
+    // Batched submission: the throughput form of the same operations.  One
+    // call, one result per op, same semantics.
+    let batch: Vec<Op> = (0..64)
+        .map(|i| Op::RouteBetween {
+            from: ids[i * 7 % ids.len()],
+            to: ids[(i * 13 + 5) % ids.len()],
+        })
+        .chain((0..8).map(|_| Op::Insert {
+            position: generator.next_point(),
+        }))
+        .collect();
+    let results = net.apply_batch(&batch);
+    let routed = results.iter().filter_map(OpResult::as_routed).count();
+    let inserted = results.iter().filter_map(OpResult::as_inserted).count();
     println!(
-        "voronoi degree: mean {:.2}, mode {}, max {}",
-        degrees.mean(),
-        degrees.mode().unwrap(),
-        degrees.max().unwrap()
+        "batch of {}: {} routes + {} inserts completed, all ok = {}",
+        batch.len(),
+        routed,
+        inserted,
+        results.iter().all(OpResult::is_ok)
     );
 
     // Range query (the paper's motivating application): all objects with
     // attribute values in [0.4, 0.6] x [0.4, 0.6].
     let rect = Rect::new(Point2::new(0.4, 0.4), Point2::new(0.6, 0.6));
-    let report = range_query(&mut net, ids[3], voronet::workloads::RangeQuery { rect }).unwrap();
+    let report = net
+        .range(ids[3], voronet::workloads::RangeQuery { rect })
+        .unwrap();
     println!(
         "range query over the centre square: {} matches, {} objects visited, {} flood messages",
         report.matches.len(),
         report.visited,
         report.flood_messages
+    );
+
+    // Aggregate engine counters through the same trait.
+    let stats = net.stats();
+    println!(
+        "stats: population {}, {} protocol messages, {} routes completed (mean {:.2} hops)",
+        stats.population, stats.messages, stats.routes_completed, stats.mean_route_hops
     );
 }

@@ -11,15 +11,29 @@
 //! |-------|----------|
 //! | [`geom`] | robust predicates, incremental Delaunay/Voronoi |
 //! | [`stats`] | histograms, regressions, series export |
-//! | [`workloads`] | object distributions and query generators |
+//! | [`workloads`] | object distributions, query generators, batched op scripts |
 //! | [`sim`] | discrete-event scheduler, per-node async runtime, network models, traffic accounting |
 //! | [`smallworld`] | Kleinberg grid baseline |
 //! | [`core`] | the VoroNet overlay itself, plus its message-driven execution |
+//! | [`api`] | the backend-agnostic [`Overlay`](api::Overlay) trait, batched ops, `OverlayBuilder`, unified errors |
+//!
+//! Applications program against the [`api::Overlay`] trait and pick an
+//! engine (synchronous fast path or the message-driven runtime) with the
+//! [`api::OverlayBuilder`]:
 //!
 //! ```
 //! use voronet::prelude::*;
 //!
-//! let mut net = VoroNet::new(VoroNetConfig::new(100).with_seed(1));
+//! let mut net = OverlayBuilder::new(100).seed(1).build_sync();
+//! let a = net.insert(Point2::new(0.2, 0.2)).unwrap().id;
+//! let b = net.insert(Point2::new(0.9, 0.7)).unwrap().id;
+//! assert_eq!(net.route_between(a, b).unwrap().owner, b);
+//!
+//! // The same program runs unchanged on the asynchronous engine:
+//! let mut net: Box<dyn Overlay> = OverlayBuilder::new(100)
+//!     .seed(1)
+//!     .engine(EngineKind::Async)
+//!     .build();
 //! let a = net.insert(Point2::new(0.2, 0.2)).unwrap().id;
 //! let b = net.insert(Point2::new(0.9, 0.7)).unwrap().id;
 //! assert_eq!(net.route_between(a, b).unwrap().owner, b);
@@ -27,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub use voronet_api as api;
 pub use voronet_core as core;
 pub use voronet_geom as geom;
 pub use voronet_sim as sim;
@@ -36,11 +51,17 @@ pub use voronet_workloads as workloads;
 
 /// Commonly used items, re-exported for `use voronet::prelude::*`.
 pub mod prelude {
+    pub use voronet_api::{
+        AsyncEngine, EngineKind, ErrorKind, Op, OpResult, Overlay, OverlayBuilder, SyncEngine,
+        VoronetError,
+    };
     pub use voronet_core::{
         radius_query, range_query, JoinReport, LeaveReport, ObjectId, ObjectView, RouteReport,
         VoroNet, VoroNetConfig,
     };
     pub use voronet_geom::{Point2, Rect, Triangulation};
     pub use voronet_stats::{IntHistogram, Series};
-    pub use voronet_workloads::{Distribution, PointGenerator, QueryGenerator};
+    pub use voronet_workloads::{
+        Distribution, OpBatchGenerator, OpMix, PointGenerator, QueryGenerator,
+    };
 }
