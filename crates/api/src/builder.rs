@@ -47,6 +47,7 @@ pub struct OverlayBuilder {
     network: NetworkModel,
     engine: EngineKind,
     routing_mode: RoutingMode,
+    worker_threads: Option<usize>,
 }
 
 impl OverlayBuilder {
@@ -60,6 +61,7 @@ impl OverlayBuilder {
             network: NetworkModel::ideal(),
             engine: EngineKind::Sync,
             routing_mode: RoutingMode::default(),
+            worker_threads: None,
         }
     }
 
@@ -70,6 +72,7 @@ impl OverlayBuilder {
             network: NetworkModel::ideal(),
             engine: EngineKind::Sync,
             routing_mode: RoutingMode::default(),
+            worker_threads: None,
         }
     }
 
@@ -123,6 +126,15 @@ impl OverlayBuilder {
         self
     }
 
+    /// Sets the number of worker threads the synchronous engine uses for
+    /// read-only batch runs (default: the machine's available
+    /// parallelism).  Results are bit-identical at any setting; `1` forces
+    /// single-threaded execution.  The asynchronous engine ignores this.
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads.max(1));
+        self
+    }
+
     /// The configuration the built overlay will use.
     pub fn config(&self) -> VoroNetConfig {
         self.config
@@ -131,7 +143,11 @@ impl OverlayBuilder {
     /// Builds the synchronous engine, regardless of the selected
     /// [`EngineKind`].
     pub fn build_sync(&self) -> SyncEngine {
-        SyncEngine::new(self.config)
+        let engine = SyncEngine::new(self.config);
+        match self.worker_threads {
+            Some(n) => engine.with_threads(n),
+            None => engine,
+        }
     }
 
     /// Builds the asynchronous engine, regardless of the selected

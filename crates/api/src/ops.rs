@@ -122,6 +122,24 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// True for operations that never mutate overlay structure (routes,
+    /// area queries, snapshots).  Engines use this to split a batch into
+    /// maximal read-only runs between write barriers: every op of a run
+    /// sees the overlay state left by the last write, so a run can execute
+    /// out of order — or in parallel — without changing any result.
+    pub fn is_read_only(&self) -> bool {
+        match self {
+            Op::Route { .. }
+            | Op::RouteBetween { .. }
+            | Op::Range { .. }
+            | Op::Radius { .. }
+            | Op::Snapshot { .. } => true,
+            Op::Insert { .. } | Op::Remove { .. } => false,
+        }
+    }
+}
+
 /// The result of one [`Op`], at the same batch index.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OpResult {

@@ -1,0 +1,154 @@
+//! The parallel read path: 4096-route batches over a pre-built
+//! 10,000-node overlay, submitted through `SyncEngine::apply_batch` at
+//! 1, 2, 4 and 8 worker threads, against the pre-parallel sequential
+//! per-op path as the baseline.
+//!
+//! Besides the Criterion console output, the bench records its headline
+//! numbers as the `parallel_ops` section of `BENCH_routes.json` and
+//! **asserts** that every thread count reproduces the sequential results
+//! element-wise — so a thread-pool regression fails the run instead of
+//! silently shipping wrong numbers.
+//!
+//! Smoke mode (`VORONET_SMOKE=1`, used by CI) shrinks the overlay and the
+//! batch so the whole bench finishes in seconds, keeps every determinism
+//! assertion, and skips the JSON record (small-size numbers would clobber
+//! the full-size section).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+use voronet_api::{Op, Overlay, SyncEngine};
+use voronet_core::experiments::build_overlay;
+use voronet_core::{VoroNet, VoroNetConfig};
+use voronet_workloads::{Distribution, QueryGenerator};
+
+const SEED: u64 = 2006;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    std::env::var_os("VORONET_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn overlay_size() -> usize {
+    if smoke() {
+        1_500
+    } else {
+        10_000
+    }
+}
+
+fn batch_size() -> usize {
+    if smoke() {
+        512
+    } else {
+        4_096
+    }
+}
+
+fn build_net() -> VoroNet {
+    let n = overlay_size();
+    let cfg = VoroNetConfig::new(n).with_seed(SEED);
+    build_overlay(Distribution::Uniform, n, cfg).0
+}
+
+fn route_batch(net: &VoroNet, len: usize, seed: u64) -> Vec<Op> {
+    let ids: Vec<_> = net.ids().collect();
+    let mut qg = QueryGenerator::new(seed);
+    (0..len)
+        .map(|_| {
+            let (a, b) = qg.object_pair(ids.len());
+            Op::RouteBetween {
+                from: ids[a],
+                to: ids[b],
+            }
+        })
+        .collect()
+}
+
+/// One warmed, timed `apply_batch` pass; returns (ns/op, results).
+fn time_batch(engine: &mut SyncEngine, ops: &[Op]) -> (f64, Vec<voronet_api::OpResult>) {
+    engine.apply_batch(ops);
+    let start = Instant::now();
+    let results = engine.apply_batch(ops);
+    let ns = start.elapsed().as_nanos() as f64 / ops.len() as f64;
+    (ns, results)
+}
+
+fn parallel_routes(c: &mut Criterion) {
+    let net = build_net();
+    let ops = route_batch(&net, batch_size(), 42);
+
+    // Baseline: the pre-parallel sequential submission path (per-op
+    // `apply`, inline accounting) — the number the parallel path is
+    // measured against.
+    let mut sequential = SyncEngine::from_net(net.clone()).with_threads(1);
+    for op in &ops {
+        black_box(sequential.apply(op));
+    }
+    let start = Instant::now();
+    let reference: Vec<_> = ops.iter().map(|op| sequential.apply(op)).collect();
+    let sequential_ns = start.elapsed().as_nanos() as f64 / ops.len() as f64;
+
+    let mut group = c.benchmark_group("parallel_routes");
+    group.sample_size(10);
+    let mut per_thread_ns = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let mut engine = SyncEngine::from_net(net.clone()).with_threads(threads);
+        let (ns, results) = time_batch(&mut engine, &ops);
+        assert_eq!(
+            results, reference,
+            "frozen-view batch at {threads} thread(s) must reproduce the sequential results"
+        );
+        per_thread_ns.push((threads, ns));
+        group.bench_function(BenchmarkId::new("route_batch", threads), |b| {
+            b.iter(|| black_box(engine.apply_batch(&ops)));
+        });
+    }
+    group.finish();
+
+    let ns_at = |threads: usize| {
+        per_thread_ns
+            .iter()
+            .find(|&&(t, _)| t == threads)
+            .expect("THREAD_COUNTS covers this count")
+            .1
+    };
+    let t1 = ns_at(1);
+    let t4 = ns_at(4);
+    println!(
+        "parallel_routes: sequential {sequential_ns:.0} ns/op, frozen 1T {t1:.0} ns/op, \
+         4T {t4:.0} ns/op ({:.2}x vs sequential)",
+        sequential_ns / t4
+    );
+
+    if smoke() {
+        println!("smoke mode: determinism asserted, JSON record skipped");
+        return;
+    }
+    let threads_json = per_thread_ns
+        .iter()
+        .map(|(t, ns)| format!("\"{t}\": {{ \"ns_per_op\": {ns:.1} }}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let section = format!(
+        "{{ \"overlay_size\": {}, \"batch\": {}, \"sequential_ns_per_op\": {sequential_ns:.1}, \
+         \"threads\": {{ {threads_json} }}, \"speedup_1_thread\": {:.2}, \
+         \"speedup_4_threads\": {:.2}, \"results_identical\": true }}",
+        overlay_size(),
+        batch_size(),
+        sequential_ns / t1,
+        sequential_ns / t4,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routes.json");
+    match voronet_bench::record::update_json_section(Path::new(out), "parallel_ops", &section) {
+        Err(e) => eprintln!("could not write {out}: {e}"),
+        Ok(()) => println!("recorded parallel_ops results to {out}"),
+    }
+}
+
+criterion_group!(benches, parallel_routes);
+
+fn main() {
+    benches();
+}

@@ -75,9 +75,18 @@ fn route_hot_path(c: &mut Criterion) {
     record_json(&mut net, &pairs);
 }
 
-/// One timed pass per mode, recorded as the `route_hot_path` section of
-/// `BENCH_routes.json` (other benches own the other sections) so routing
-/// regressions are diffable without parsing console output.
+/// The `q`-quantile of a set of per-route samples (nearest-rank on the
+/// sorted copy, like `voronet_stats`' summaries).
+fn quantile(samples: &mut [u64], q: f64) -> u64 {
+    samples.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[rank]
+}
+
+/// One timed pass per mode — each route timed individually so the tail
+/// (p99) is visible, not just the mean — recorded as the `route_hot_path`
+/// section of `BENCH_routes.json` (other benches own the other sections)
+/// so routing regressions are diffable without parsing console output.
 fn record_json(net: &mut VoroNet, pairs: &[(ObjectId, ObjectId)]) {
     let mut path: Vec<ObjectId> = Vec::with_capacity(64);
     // Warm-up (buffers + branch predictors), then measure.
@@ -87,16 +96,19 @@ fn record_json(net: &mut VoroNet, pairs: &[(ObjectId, ObjectId)]) {
             .expect("route");
     }
 
-    let start = Instant::now();
-    let mut greedy_hops = 0u64;
+    let mut greedy_ns_samples = Vec::with_capacity(pairs.len());
+    let mut greedy_hop_samples = Vec::with_capacity(pairs.len());
     for &(a, t) in pairs {
         let target = net.coords(t).expect("live");
+        let start = Instant::now();
         let (_, hops) = net
             .route_to_point_into(a, target, &mut path)
             .expect("route");
-        greedy_hops += hops as u64;
+        greedy_ns_samples.push(start.elapsed().as_nanos() as u64);
+        greedy_hop_samples.push(hops as u64);
     }
-    let greedy_ns = start.elapsed().as_nanos() as f64 / pairs.len() as f64;
+    let greedy_ns = greedy_ns_samples.iter().sum::<u64>() as f64 / pairs.len() as f64;
+    let greedy_hops: u64 = greedy_hop_samples.iter().sum();
 
     let start = Instant::now();
     let mut alg5_hops = 0u64;
@@ -109,11 +121,15 @@ fn record_json(net: &mut VoroNet, pairs: &[(ObjectId, ObjectId)]) {
     let alg5_ns = start.elapsed().as_nanos() as f64 / pairs.len() as f64;
 
     let section = format!(
-        "{{ \"overlay_size\": {}, \"pairs\": {}, \"greedy_into\": {{ \"mean_ns_per_route\": {:.1}, \"mean_hops\": {:.2} }}, \"algorithm5\": {{ \"mean_ns_per_route\": {:.1}, \"mean_forwarding_hops\": {:.2} }} }}",
+        "{{ \"overlay_size\": {}, \"pairs\": {}, \"greedy_into\": {{ \"mean_ns_per_route\": {:.1}, \"p50_ns_per_route\": {}, \"p99_ns_per_route\": {}, \"mean_hops\": {:.2}, \"p50_hops\": {}, \"p99_hops\": {} }}, \"algorithm5\": {{ \"mean_ns_per_route\": {:.1}, \"mean_forwarding_hops\": {:.2} }} }}",
         OVERLAY_SIZE,
         pairs.len(),
         greedy_ns,
+        quantile(&mut greedy_ns_samples, 0.5),
+        quantile(&mut greedy_ns_samples, 0.99),
         greedy_hops as f64 / pairs.len() as f64,
+        quantile(&mut greedy_hop_samples, 0.5),
+        quantile(&mut greedy_hop_samples, 0.99),
         alg5_ns,
         alg5_hops as f64 / pairs.len() as f64,
     );

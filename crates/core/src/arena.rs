@@ -221,6 +221,15 @@ impl NodeArena {
         }
     }
 
+    /// Bumps the per-node sent counter by `n` in one lookup (no-op for
+    /// departed nodes) — the bulk form behind
+    /// [`crate::VoroNet::apply_accumulated_traffic`].
+    pub(crate) fn bump_sent_by(&mut self, id: ObjectId, n: u64) {
+        if let Some(slot) = self.get_mut(id) {
+            slot.sent += n;
+        }
+    }
+
     /// Inserts a node, returning its generation-tagged index.
     ///
     /// # Panics

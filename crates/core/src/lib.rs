@@ -42,6 +42,7 @@ pub mod overlay;
 pub mod protocol;
 pub mod queries;
 pub mod runtime;
+pub mod snapshot;
 
 pub use arena::{NodeArena, NodeIndex, NodeSlot};
 pub use config::{DminRule, VoroNetConfig};
@@ -50,8 +51,12 @@ pub use error::{ErrorKind, VoronetError};
 pub use object::{BackLink, LinkIndex, LongLink, ObjectId, ObjectView, ViewRef};
 pub use overlay::{JoinError, JoinReport, LeaveReport, OverlayError, RouteReport, VoroNet};
 pub use protocol::{algorithm5_route, Algorithm5Report, StopReason};
-pub use queries::{radius_query, range_query, segment_query, AreaQueryReport, SegmentQueryReport};
+pub use queries::{
+    radius_query, radius_query_in, range_query, range_query_in, segment_query, AreaQueryReport,
+    SegmentQueryReport,
+};
 pub use runtime::{
     run_scenario, AsyncOverlay, OpToken, ProtocolMsg, RoutePurpose, RoutingMode, ScenarioCounters,
     ScenarioReport, UNTRACKED,
 };
+pub use snapshot::{FrozenView, RouteScratch, TrafficAccumulator, TrafficDelta};

@@ -10,6 +10,7 @@
 
 use crate::object::ObjectId;
 use crate::overlay::{OverlayError, VoroNet};
+use crate::snapshot::RouteScratch;
 use voronet_geom::{voronoi_cell, Point2, Rect};
 use voronet_sim::MessageKind;
 use voronet_workloads::{RadiusQuery, RangeQuery};
@@ -40,12 +41,29 @@ pub fn range_query(
     from: ObjectId,
     query: RangeQuery,
 ) -> Result<AreaQueryReport, OverlayError> {
-    area_query(
+    let mut scratch = RouteScratch::new();
+    let report = range_query_in(net, from, query, &mut scratch)?;
+    net.apply_traffic(&scratch.delta);
+    Ok(report)
+}
+
+/// The `&self` form of [`range_query`]: computes into a caller-owned
+/// [`RouteScratch`] (the accounting is appended to `scratch.delta` for the
+/// caller to apply) and never mutates the overlay, so concurrent readers
+/// can share one `&VoroNet`.
+pub fn range_query_in(
+    net: &VoroNet,
+    from: ObjectId,
+    query: RangeQuery,
+    scratch: &mut RouteScratch,
+) -> Result<AreaQueryReport, OverlayError> {
+    area_query_in(
         net,
         from,
         query.rect.center(),
         move |p, cell_hits| query.rect.contains(p) || cell_hits,
         move |net, id| cell_intersects_rect(net, id, query.rect),
+        scratch,
     )
 }
 
@@ -55,13 +73,27 @@ pub fn radius_query(
     from: ObjectId,
     query: RadiusQuery,
 ) -> Result<AreaQueryReport, OverlayError> {
+    let mut scratch = RouteScratch::new();
+    let report = radius_query_in(net, from, query, &mut scratch)?;
+    net.apply_traffic(&scratch.delta);
+    Ok(report)
+}
+
+/// The `&self` form of [`radius_query`]; see [`range_query_in`].
+pub fn radius_query_in(
+    net: &VoroNet,
+    from: ObjectId,
+    query: RadiusQuery,
+    scratch: &mut RouteScratch,
+) -> Result<AreaQueryReport, OverlayError> {
     let r2 = query.radius * query.radius;
-    area_query(
+    area_query_in(
         net,
         from,
         query.center,
         move |p, _| p.distance2(query.center) <= r2,
         move |net, id| cell_intersects_disk(net, id, query),
+        scratch,
     )
 }
 
@@ -98,21 +130,31 @@ fn cell_intersects_disk(net: &VoroNet, id: ObjectId, query: RadiusQuery) -> bool
     (0..n).any(|i| query.center.distance_to_segment(poly[i], poly[(i + 1) % n]) <= query.radius)
 }
 
-/// Common flood skeleton shared by range and radius queries.
-fn area_query(
-    net: &mut VoroNet,
+/// Common flood skeleton shared by range and radius queries, side-effect
+/// free on `&self`: the walk and flood work-lists live in the scratch, the
+/// route and flood accounting is appended to `scratch.delta`.
+fn area_query_in(
+    net: &VoroNet,
     from: ObjectId,
     anchor: Point2,
     matches: impl Fn(Point2, bool) -> bool,
     cell_touches_area: impl Fn(&VoroNet, ObjectId) -> bool,
+    scratch: &mut RouteScratch,
 ) -> Result<AreaQueryReport, OverlayError> {
-    let route = net.route_to_point(from, anchor)?;
-    let mut visited = std::collections::BTreeSet::new();
-    let mut frontier = vec![route.owner];
-    visited.insert(route.owner);
+    let (owner, routing_hops) = net.route_to_point_in(from, anchor, scratch)?;
+    let RouteScratch {
+        delta,
+        visited,
+        frontier,
+        neighbours,
+        ..
+    } = scratch;
+    visited.clear();
+    frontier.clear();
+    frontier.push(owner);
+    visited.insert(owner);
     let mut flood_messages = 0u64;
     let mut results = Vec::new();
-    let mut neighbours = Vec::new();
     while let Some(cur) = frontier.pop() {
         let coords = net.coords(cur).expect("visited objects are live");
         let touches = cell_touches_area(net, cur);
@@ -122,11 +164,11 @@ fn area_query(
         if !touches {
             continue;
         }
-        net.voronoi_neighbours_into(cur, &mut neighbours)?;
-        for &n in &neighbours {
+        net.voronoi_neighbours_into(cur, neighbours)?;
+        for &n in neighbours.iter() {
             if visited.insert(n) {
                 flood_messages += 1;
-                record_flood_message(net, cur);
+                delta.push(cur, MessageKind::Other);
                 frontier.push(n);
             }
         }
@@ -134,7 +176,7 @@ fn area_query(
     results.sort_unstable();
     Ok(AreaQueryReport {
         matches: results,
-        routing_hops: route.hops,
+        routing_hops,
         flood_messages,
         visited: visited.len(),
     })

@@ -1,0 +1,651 @@
+//! Frozen, read-optimised snapshots of the routing state — the parallel
+//! read path.
+//!
+//! The overlay's hot read operations (greedy routes, point queries, area
+//! queries) never change routing state; the only side effect they have is
+//! *message accounting*.  This module splits that accounting out so the
+//! whole read path runs on `&self`:
+//!
+//! * [`TrafficDelta`] — the messages a read operation *would* send,
+//!   recorded instead of applied.  A caller replays the delta onto the
+//!   overlay afterwards ([`crate::VoroNet::apply_traffic`]) and ends up
+//!   with bit-identical [`voronet_sim::TrafficStats`] and per-node sent
+//!   counters.
+//! * [`RouteScratch`] — the caller-owned buffers (path, delta, flood
+//!   work-lists) every `_in`-suffixed read operation computes into, so a
+//!   warmed-up scratch makes routes and point queries allocation-free.
+//! * [`FrozenView`] — an immutable structure-of-arrays snapshot of the
+//!   routing topology: coordinates in flat `xs`/`ys` arrays and the full
+//!   routing adjacency (Voronoi + close + long neighbours) flattened into
+//!   one CSR offset/index pair.  A greedy hop over a `FrozenView` is pure
+//!   contiguous array reads — no hashing, no triangle-fan walking — and
+//!   `FrozenView` is `Sync`, so one snapshot serves any number of threads.
+//! * [`TrafficAccumulator`] — dense per-node aggregation of many
+//!   [`TrafficDelta`]s, applied in one pass
+//!   ([`crate::VoroNet::apply_accumulated_traffic`]) so batch executors do
+//!   O(distinct senders) map updates instead of O(messages).
+//!
+//! A `FrozenView` is valid only for the overlay state it was built from:
+//! any mutation (insert, remove, long-link refresh, `N_max` adaptation)
+//! invalidates it, and callers must rebuild after every write barrier.
+//! Routing over a `FrozenView` takes, hop for hop, exactly the decisions
+//! of [`crate::VoroNet::route_to_point_into`]: the adjacency lists preserve
+//! the live scan order (Voronoi fan order, then close neighbours, then
+//! long links) and distances are compared with the same strict-`<` rule,
+//! so owners, hop counts, paths and recorded messages are bit-identical.
+
+use crate::arena::NodeArena;
+use crate::object::ObjectId;
+use crate::overlay::{OverlayError, VoroNet};
+use voronet_geom::Point2;
+use voronet_sim::{MessageKind, TrafficStats};
+
+/// Every [`MessageKind`], in a fixed order used to index
+/// [`TrafficAccumulator`]'s per-kind counters.
+const KINDS: [MessageKind; 7] = [
+    MessageKind::RouteForward,
+    MessageKind::VoronoiUpdate,
+    MessageKind::CloseNeighbourExchange,
+    MessageKind::LongLink,
+    MessageKind::Departure,
+    MessageKind::QueryAnswer,
+    MessageKind::Other,
+];
+
+fn kind_index(kind: MessageKind) -> usize {
+    match kind {
+        MessageKind::RouteForward => 0,
+        MessageKind::VoronoiUpdate => 1,
+        MessageKind::CloseNeighbourExchange => 2,
+        MessageKind::LongLink => 3,
+        MessageKind::Departure => 4,
+        MessageKind::QueryAnswer => 5,
+        MessageKind::Other => 6,
+    }
+}
+
+/// The protocol messages a side-effect-free read operation would have
+/// sent, in emission order.
+///
+/// Read operations (`route_to_point_in`, `handle_query_in`, the
+/// `*_query_in` floods) append to the delta instead of touching the
+/// overlay's counters; the caller replays it afterwards with
+/// [`VoroNet::apply_traffic`].  Replaying produces exactly the counters
+/// the pre-split `&mut self` operations produced inline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficDelta {
+    events: Vec<(ObjectId, MessageKind)>,
+}
+
+impl TrafficDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `kind` sent by `from`.
+    #[inline]
+    pub fn push(&mut self, from: ObjectId, kind: MessageKind) {
+        self.events.push((from, kind));
+    }
+
+    /// The recorded `(sender, kind)` events, in emission order.
+    pub fn events(&self) -> &[(ObjectId, MessageKind)] {
+        &self.events
+    }
+
+    /// Number of recorded messages.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Forgets all recorded events, keeping the buffer's capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// Caller-owned working memory for the `&self` read path.
+///
+/// Holds the route path buffer, the pending [`TrafficDelta`] and the
+/// work-lists of the area-query floods.  Reusing one scratch across calls
+/// makes greedy routes and point queries allocation-free once the buffers
+/// have warmed up (pinned by the counting-allocator test in
+/// `tests/route_alloc.rs`).
+///
+/// The read operations **clear** `path` (it describes the last route) but
+/// **append** to `delta`, so one scratch can accumulate the accounting of
+/// a whole run of operations before a single
+/// [`VoroNet::apply_traffic`] / [`VoroNet::apply_accumulated_traffic`]
+/// call; clear the delta when the events have been applied.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    /// Objects traversed by the last route (source first, owner last).
+    pub path: Vec<ObjectId>,
+    /// Accounting of every read operation since the last clear.
+    pub delta: TrafficDelta,
+    pub(crate) visited: std::collections::HashSet<ObjectId>,
+    pub(crate) frontier: Vec<ObjectId>,
+    pub(crate) neighbours: Vec<ObjectId>,
+}
+
+impl RouteScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Immutable structure-of-arrays snapshot of the routing topology (see
+/// the [module docs](self)).
+///
+/// Nodes are addressed by *dense index* — the overlay's dense sampling
+/// order at freeze time — with O(1) translation from [`ObjectId`]s.
+/// Coordinates live in flat `xs`/`ys` arrays and the complete greedy
+/// neighbourhood of each node (Voronoi fan, close neighbours, long links,
+/// in the live path's scan order) is one CSR slice of dense indices, so a
+/// greedy hop reads two offset words and a handful of contiguous array
+/// entries.
+#[derive(Debug, Clone)]
+pub struct FrozenView {
+    /// Dense index → object id.
+    ids: Vec<ObjectId>,
+    /// Object id → dense index.
+    id_to_dense: IdIndex,
+    /// Dense index → x coordinate.
+    xs: Vec<f64>,
+    /// Dense index → y coordinate.
+    ys: Vec<f64>,
+    /// CSR offsets into `adj` (`len() + 1` entries).
+    adj_off: Vec<u32>,
+    /// Flattened routing adjacency, as dense indices.
+    adj: Vec<u32>,
+}
+
+/// Object-id → dense-index translation.  Object ids are allocated
+/// monotonically and never reused, so under sustained churn the raw id
+/// range can grow far beyond the live population; a flat table indexed by
+/// `id - min_live_id` is only used while that range stays within a small
+/// factor of the population, with a hash map as the fallback so a freeze
+/// never allocates more than O(population).
+#[derive(Debug, Clone)]
+enum IdIndex {
+    /// `table[id.0 - base]` is the dense index (`u32::MAX` = dead).
+    Flat { base: u64, table: Vec<u32> },
+    /// Sparse fallback for id ranges much wider than the population.
+    Map(std::collections::HashMap<ObjectId, u32>),
+}
+
+impl IdIndex {
+    /// The id range may exceed the population by at most this factor
+    /// before the flat table is abandoned for the hash map.
+    const MAX_SPREAD: usize = 8;
+
+    fn build(ids: &[ObjectId]) -> IdIndex {
+        let Some(base) = ids.iter().map(|id| id.0).min() else {
+            return IdIndex::Flat {
+                base: 0,
+                table: Vec::new(),
+            };
+        };
+        let max = ids.iter().map(|id| id.0).max().expect("non-empty");
+        let span = (max - base) as usize + 1;
+        if span <= ids.len().saturating_mul(Self::MAX_SPREAD) + 64 {
+            let mut table = vec![u32::MAX; span];
+            for (dense, id) in ids.iter().enumerate() {
+                table[(id.0 - base) as usize] = dense as u32;
+            }
+            IdIndex::Flat { base, table }
+        } else {
+            IdIndex::Map(
+                ids.iter()
+                    .enumerate()
+                    .map(|(dense, &id)| (id, dense as u32))
+                    .collect(),
+            )
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: ObjectId) -> Option<u32> {
+        match self {
+            IdIndex::Flat { base, table } => match id.0.checked_sub(*base) {
+                Some(off) => match table.get(off as usize) {
+                    Some(&d) if d != u32::MAX => Some(d),
+                    _ => None,
+                },
+                None => None,
+            },
+            IdIndex::Map(map) => map.get(&id).copied(),
+        }
+    }
+}
+
+impl FrozenView {
+    /// Freezes the routing state of `net`.  O(n + edges); the snapshot is
+    /// immutable and `Sync`, and must be rebuilt after any overlay
+    /// mutation.
+    pub fn new(net: &VoroNet) -> Self {
+        let n = net.len();
+        let tri = net.triangulation();
+        let arena = net.arena();
+        let mut ids = Vec::with_capacity(n);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for id in net.ids() {
+            let slot = arena.get(id).expect("dense order holds live nodes");
+            ids.push(id);
+            xs.push(slot.coords().x);
+            ys.push(slot.coords().y);
+        }
+        let id_to_dense = IdIndex::build(&ids);
+
+        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        adj_off.push(0u32);
+        for &id in &ids {
+            let slot = arena.get(id).expect("dense order holds live nodes");
+            // Exactly the live walk's scan order: Voronoi fan first, then
+            // close neighbours (BTreeSet order), then long links — with the
+            // node itself skipped, as the live path's `n == cur` test does.
+            for v in tri.real_neighbors_iter(slot.vertex()) {
+                let o = net
+                    .object_at_vertex(v)
+                    .expect("real vertices always map to live objects");
+                adj.push(id_to_dense.get(o).expect("neighbours are live"));
+            }
+            for n in slot
+                .close()
+                .iter()
+                .copied()
+                .chain(slot.long().iter().map(|l| l.neighbour))
+            {
+                if n != id {
+                    adj.push(id_to_dense.get(n).expect("neighbours are live"));
+                }
+            }
+            adj_off.push(adj.len() as u32);
+        }
+        FrozenView {
+            ids,
+            id_to_dense,
+            xs,
+            ys,
+            adj_off,
+            adj,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the snapshot holds no node.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dense index of an object (`None` for ids dead or unknown at freeze
+    /// time).
+    #[inline]
+    pub fn dense_of(&self, id: ObjectId) -> Option<u32> {
+        self.id_to_dense.get(id)
+    }
+
+    /// Object id at a dense index (`index < len()`).
+    #[inline]
+    pub fn id_at(&self, index: u32) -> ObjectId {
+        self.ids[index as usize]
+    }
+
+    /// Coordinates of an object live at freeze time.
+    pub fn coords_of(&self, id: ObjectId) -> Option<Point2> {
+        let d = self.dense_of(id)? as usize;
+        Some(Point2::new(self.xs[d], self.ys[d]))
+    }
+
+    /// The frozen routing neighbourhood of a dense index, as dense indices
+    /// in scan order.
+    pub fn neighbours_of(&self, index: u32) -> &[u32] {
+        let s = self.adj_off[index as usize] as usize;
+        let e = self.adj_off[index as usize + 1] as usize;
+        &self.adj[s..e]
+    }
+
+    /// Greedy route from `from` towards `target` over the frozen topology
+    /// — the decisions, path, hop count and recorded messages are
+    /// bit-identical to [`VoroNet::route_to_point_in`] on the overlay the
+    /// snapshot was frozen from.
+    ///
+    /// `scratch.path` is cleared and refilled; the accounting is appended
+    /// to `scratch.delta`.  Allocation-free on warmed-up buffers.
+    pub fn route_to_point_in(
+        &self,
+        from: ObjectId,
+        target: Point2,
+        scratch: &mut RouteScratch,
+    ) -> Result<(ObjectId, u32), OverlayError> {
+        scratch.path.clear();
+        let Some(mut cur) = self.dense_of(from) else {
+            return Err(OverlayError::UnknownObject(from));
+        };
+        scratch.path.push(from);
+        let mut cur_d = Point2::new(self.xs[cur as usize], self.ys[cur as usize]).distance2(target);
+        let mut hops = 0u32;
+        loop {
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for &nb in self.neighbours_of(cur) {
+                let d = Point2::new(self.xs[nb as usize], self.ys[nb as usize]).distance2(target);
+                if d < best_d {
+                    best = nb;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                break;
+            }
+            scratch
+                .delta
+                .push(self.ids[cur as usize], MessageKind::RouteForward);
+            cur = best;
+            cur_d = best_d;
+            hops += 1;
+            scratch.path.push(self.ids[cur as usize]);
+        }
+        Ok((self.ids[cur as usize], hops))
+    }
+
+    /// Greedy route between two objects live at freeze time; see
+    /// [`FrozenView::route_to_point_in`].
+    pub fn route_between_in(
+        &self,
+        from: ObjectId,
+        to: ObjectId,
+        scratch: &mut RouteScratch,
+    ) -> Result<(ObjectId, u32), OverlayError> {
+        let target = self.coords_of(to).ok_or(OverlayError::UnknownObject(to))?;
+        let (owner, hops) = self.route_to_point_in(from, target, scratch)?;
+        debug_assert_eq!(
+            owner, to,
+            "a route towards an existing object must terminate at that object"
+        );
+        Ok((owner, hops))
+    }
+}
+
+/// Dense aggregation of many [`TrafficDelta`]s against one
+/// [`FrozenView`], applied in a single pass with
+/// [`VoroNet::apply_accumulated_traffic`].
+///
+/// Message accounting is two independent aggregations (per kind and per
+/// sender — see [`TrafficStats::add_kind`] /
+/// [`TrafficStats::add_sender`]), so the accumulator keeps a fixed
+/// per-kind array plus a dense per-node count vector and applies
+/// O(distinct senders) map updates instead of one map update per message.
+/// Parallel batch executors give each worker its own accumulator and
+/// merge them before applying.
+#[derive(Debug, Clone)]
+pub struct TrafficAccumulator {
+    pub(crate) kind_counts: [u64; KINDS.len()],
+    pub(crate) node_counts: Vec<u32>,
+    pub(crate) touched: Vec<u32>,
+}
+
+impl TrafficAccumulator {
+    /// Creates an accumulator sized for `view`.
+    pub fn new(view: &FrozenView) -> Self {
+        TrafficAccumulator {
+            kind_counts: [0; KINDS.len()],
+            node_counts: vec![0; view.len()],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Folds a delta in.  Every sender must be a node of `view` (read
+    /// operations only record live senders).
+    pub fn absorb(&mut self, view: &FrozenView, delta: &TrafficDelta) {
+        for &(id, kind) in delta.events() {
+            self.kind_counts[kind_index(kind)] += 1;
+            let dense = view
+                .dense_of(id)
+                .expect("read-path senders are live in the frozen view")
+                as usize;
+            if self.node_counts[dense] == 0 {
+                self.touched.push(dense as u32);
+            }
+            self.node_counts[dense] += 1;
+        }
+    }
+
+    /// Merges another accumulator (built against the same view) into this
+    /// one.
+    pub fn merge(&mut self, other: &TrafficAccumulator) {
+        for (mine, theirs) in self.kind_counts.iter_mut().zip(other.kind_counts) {
+            *mine += theirs;
+        }
+        for &dense in &other.touched {
+            if self.node_counts[dense as usize] == 0 {
+                self.touched.push(dense);
+            }
+            self.node_counts[dense as usize] += other.node_counts[dense as usize];
+        }
+    }
+
+    /// Total messages accumulated.
+    pub fn total(&self) -> u64 {
+        self.kind_counts.iter().sum()
+    }
+
+    pub(crate) fn apply_to(
+        &self,
+        traffic: &mut TrafficStats,
+        arena: &mut NodeArena,
+        view: &FrozenView,
+    ) {
+        for (i, &n) in self.kind_counts.iter().enumerate() {
+            traffic.add_kind(KINDS[i], n);
+        }
+        for &dense in &self.touched {
+            let id = view.id_at(dense);
+            let n = self.node_counts[dense as usize] as u64;
+            traffic.add_sender(id.0, n);
+            arena.bump_sent_by(id, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VoroNetConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn build(n: usize, seed: u64) -> (VoroNet, Vec<ObjectId>) {
+        let mut net = VoroNet::new(VoroNetConfig::new(n).with_seed(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A5A);
+        let mut ids = Vec::new();
+        while ids.len() < n {
+            let p = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+            if let Ok(r) = net.insert(p) {
+                ids.push(r.id);
+            }
+        }
+        (net, ids)
+    }
+
+    #[test]
+    fn frozen_view_is_sync_and_indexes_every_live_node() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<FrozenView>();
+        assert_sync::<VoroNet>();
+
+        let (net, ids) = build(200, 3);
+        let view = FrozenView::new(&net);
+        assert_eq!(view.len(), net.len());
+        for &id in &ids {
+            let dense = view.dense_of(id).expect("live node is indexed");
+            assert_eq!(view.id_at(dense), id);
+            assert_eq!(view.coords_of(id), net.coords(id));
+            assert!(!view.neighbours_of(dense).is_empty());
+        }
+        assert_eq!(view.dense_of(ObjectId(u64::MAX)), None);
+    }
+
+    #[test]
+    fn frozen_routes_match_the_live_walk_bit_for_bit() {
+        let (mut net, ids) = build(400, 7);
+        let view = FrozenView::new(&net);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut scratch = RouteScratch::new();
+        let mut live_path = Vec::new();
+        for i in 0..300 {
+            let from = ids[rng.random_range(0..ids.len())];
+            let target = if i % 3 == 0 {
+                net.coords(ids[rng.random_range(0..ids.len())]).unwrap()
+            } else {
+                Point2::new(rng.random::<f64>(), rng.random::<f64>())
+            };
+            scratch.delta.clear();
+            let frozen = view.route_to_point_in(from, target, &mut scratch).unwrap();
+            let events = scratch.delta.len();
+            let live = net
+                .route_to_point_into(from, target, &mut live_path)
+                .unwrap();
+            assert_eq!(frozen, live, "owner/hops must agree");
+            assert_eq!(scratch.path, live_path, "paths must agree");
+            assert_eq!(events as u32, frozen.1, "one RouteForward per hop");
+        }
+        // Unknown sources error identically.
+        assert_eq!(
+            view.route_to_point_in(ObjectId(u64::MAX), Point2::new(0.5, 0.5), &mut scratch),
+            Err(OverlayError::UnknownObject(ObjectId(u64::MAX)))
+        );
+    }
+
+    #[test]
+    fn churned_overlays_freeze_in_bounded_memory_and_still_route_identically() {
+        // Object ids are never reused, so sustained churn spreads the live
+        // ids over a range far wider than the population; the id index must
+        // fall back to the sparse map (never allocating O(max id)) and keep
+        // routing bit-identical to the live walk.
+        let (mut net, mut ids) = build(60, 23);
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..800 {
+            // Keep the very first object alive to pin the id range open.
+            let victim = 1 + rng.random_range(0..ids.len() - 1);
+            net.remove(ids[victim]).unwrap();
+            ids.swap_remove(victim);
+            let p = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+            if let Ok(r) = net.insert(p) {
+                ids.push(r.id);
+            }
+        }
+        let span = ids.iter().map(|i| i.0).max().unwrap() - ids.iter().map(|i| i.0).min().unwrap();
+        assert!(
+            span as usize > ids.len() * IdIndex::MAX_SPREAD + 64,
+            "churn must spread the id range (span {span}, population {})",
+            ids.len()
+        );
+        let view = FrozenView::new(&net);
+        assert!(
+            matches!(view.id_to_dense, IdIndex::Map(_)),
+            "wide id ranges must use the sparse index"
+        );
+        let mut scratch = RouteScratch::new();
+        let mut live_path = Vec::new();
+        for i in 0..100 {
+            let from = ids[(i * 7) % ids.len()];
+            let to = ids[(i * 13 + 1) % ids.len()];
+            let frozen = view.route_between_in(from, to, &mut scratch).unwrap();
+            let target = net.coords(to).unwrap();
+            let live = net
+                .route_to_point_into(from, target, &mut live_path)
+                .unwrap();
+            assert_eq!(frozen, live);
+            assert_eq!(scratch.path, live_path);
+        }
+        // An erroring route clears the stale path, like the live walk does.
+        let _ = view.route_to_point_in(ObjectId(u64::MAX), Point2::new(0.1, 0.1), &mut scratch);
+        assert!(
+            scratch.path.is_empty(),
+            "failed routes must not leave a stale path"
+        );
+    }
+
+    #[test]
+    fn deferred_deltas_replay_to_identical_traffic() {
+        let (net, ids) = build(150, 11);
+        let mut inline = net.clone();
+        let mut deferred = net.clone();
+        let mut rng = StdRng::seed_from_u64(13);
+        let pairs: Vec<(ObjectId, ObjectId)> = (0..80)
+            .map(|_| {
+                (
+                    ids[rng.random_range(0..ids.len())],
+                    ids[rng.random_range(0..ids.len())],
+                )
+            })
+            .collect();
+
+        for &(a, b) in &pairs {
+            let _ = inline.route_between(a, b).unwrap();
+        }
+
+        let mut scratch = RouteScratch::new();
+        for &(a, b) in &pairs {
+            deferred.route_between_in(a, b, &mut scratch).unwrap();
+        }
+        deferred.apply_traffic(&scratch.delta);
+
+        assert_eq!(inline.traffic(), deferred.traffic());
+        for &id in &ids {
+            assert_eq!(inline.sent_by(id), deferred.sent_by(id));
+        }
+    }
+
+    #[test]
+    fn accumulated_application_matches_verbatim_replay() {
+        let (net, ids) = build(150, 17);
+        let view = FrozenView::new(&net);
+        let mut verbatim = net.clone();
+        let mut accumulated = net.clone();
+        let mut rng = StdRng::seed_from_u64(19);
+
+        let mut scratch_a = RouteScratch::new();
+        let mut scratch_b = RouteScratch::new();
+        let mut acc_a = TrafficAccumulator::new(&view);
+        let mut acc_b = TrafficAccumulator::new(&view);
+        for i in 0..120 {
+            let from = ids[rng.random_range(0..ids.len())];
+            let to = ids[rng.random_range(0..ids.len())];
+            let (scratch, acc) = if i % 2 == 0 {
+                (&mut scratch_a, &mut acc_a)
+            } else {
+                (&mut scratch_b, &mut acc_b)
+            };
+            scratch.delta.clear();
+            view.route_between_in(from, to, scratch).unwrap();
+            verbatim.apply_traffic(&scratch.delta);
+            acc.absorb(&view, &scratch.delta);
+        }
+        acc_a.merge(&acc_b);
+        accumulated.apply_accumulated_traffic(&view, &acc_a);
+
+        assert_eq!(verbatim.traffic(), accumulated.traffic());
+        assert_eq!(
+            verbatim.traffic().total(),
+            net.traffic().total() + acc_a.total()
+        );
+        for &id in &ids {
+            assert_eq!(verbatim.sent_by(id), accumulated.sent_by(id));
+        }
+    }
+}

@@ -28,7 +28,7 @@
 
 use crate::point::{Point2, Rect};
 use crate::predicates::{incircle, orient2d, Orientation};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Sentinel value for "no triangle / no vertex".
 pub const NIL: u32 = u32::MAX;
@@ -123,7 +123,14 @@ impl std::error::Error for InsertError {}
 impl std::error::Error for RemoveError {}
 
 /// Incremental Delaunay triangulation over a rectangular domain.
-#[derive(Clone)]
+///
+/// The structure is `Sync`: point location ([`Triangulation::locate`],
+/// [`Triangulation::nearest_vertex`]) and every neighbourhood query take
+/// `&self` and keep their walk state (the last-touched-triangle hint and
+/// the walk-tiebreak RNG) in relaxed atomics, so concurrent readers are
+/// sound.  Under contention the hint/RNG updates may interleave, which only
+/// perturbs *which* walk a reader takes — never the located triangle or the
+/// nearest vertex it returns.
 pub struct Triangulation {
     points: Vec<Point2>,
     vert_tri: Vec<u32>,
@@ -135,10 +142,30 @@ pub struct Triangulation {
     /// Conflict-search epoch marks, indexed by triangle id.
     marks: Vec<u64>,
     epoch: u64,
-    hint: Cell<u32>,
-    rng: Cell<u64>,
+    hint: AtomicU32,
+    rng: AtomicU64,
     domain: Rect,
     live_real_vertices: usize,
+}
+
+impl Clone for Triangulation {
+    fn clone(&self) -> Self {
+        Triangulation {
+            points: self.points.clone(),
+            vert_tri: self.vert_tri.clone(),
+            vert_alive: self.vert_alive.clone(),
+            free_verts: self.free_verts.clone(),
+            tris: self.tris.clone(),
+            tri_alive: self.tri_alive.clone(),
+            free_tris: self.free_tris.clone(),
+            marks: self.marks.clone(),
+            epoch: self.epoch,
+            hint: AtomicU32::new(self.hint.load(Ordering::Relaxed)),
+            rng: AtomicU64::new(self.rng.load(Ordering::Relaxed)),
+            domain: self.domain,
+            live_real_vertices: self.live_real_vertices,
+        }
+    }
 }
 
 impl Triangulation {
@@ -171,8 +198,8 @@ impl Triangulation {
             free_tris: Vec::new(),
             marks: vec![0, 0],
             epoch: 0,
-            hint: Cell::new(0),
-            rng: Cell::new(0x9E37_79B9_7F4A_7C15),
+            hint: AtomicU32::new(0),
+            rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
             domain,
             live_real_vertices: 0,
         }
@@ -256,16 +283,18 @@ impl Triangulation {
 
     fn next_rand(&self) -> u64 {
         // xorshift64*; quality is irrelevant, it only breaks walk cycles.
-        let mut x = self.rng.get();
+        // Relaxed load/store: a racy interleaving merely reuses or skips a
+        // draw, which is as good as any other draw for cycle breaking.
+        let mut x = self.rng.load(Ordering::Relaxed);
         x ^= x >> 12;
         x ^= x << 25;
         x ^= x >> 27;
-        self.rng.set(x);
+        self.rng.store(x, Ordering::Relaxed);
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
     fn any_live_triangle(&self) -> TriId {
-        let h = self.hint.get();
+        let h = self.hint.load(Ordering::Relaxed);
         if (h as usize) < self.tri_alive.len() && self.tri_alive[h as usize] {
             return h;
         }
@@ -308,7 +337,7 @@ impl Triangulation {
                 continue;
             }
             // p is inside or on the boundary of `cur`.
-            self.hint.set(cur);
+            self.hint.store(cur, Ordering::Relaxed);
             for i in 0..3 {
                 let vp = self.points[t.v[i] as usize];
                 if vp.x == p.x && vp.y == p.y {
@@ -621,7 +650,7 @@ impl Triangulation {
             self.tris[nt as usize].n[2] = prev;
         }
         self.vert_tri[vid as usize] = new_tris[0].2;
-        self.hint.set(new_tris[0].2);
+        self.hint.store(new_tris[0].2, Ordering::Relaxed);
 
         for t in cavity {
             self.free_triangle(t);
@@ -732,8 +761,10 @@ impl Triangulation {
         self.vert_tri[v as usize] = NIL;
         self.free_verts.push(v);
         self.live_real_vertices -= 1;
-        self.hint
-            .set(*created.last().expect("at least one triangle created"));
+        self.hint.store(
+            *created.last().expect("at least one triangle created"),
+            Ordering::Relaxed,
+        );
 
         // Restore the Delaunay property on the diagonals created by ear
         // clipping (Lawson flips; hole boundary edges are already Delaunay).
@@ -1428,6 +1459,43 @@ mod tests {
             assert!(t.euler_check());
         }
         assert_eq!(t.len(), 40);
+    }
+
+    #[test]
+    fn point_location_is_sound_under_concurrent_readers() {
+        // The walk hint and tiebreak RNG are relaxed atomics, so `&self`
+        // point location is sound (and deterministic in its *result*) when
+        // many threads locate through one shared triangulation.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Triangulation>();
+
+        let mut t = Triangulation::unit_square();
+        let pts = random_points(300, 61);
+        let ids: Vec<_> = pts.iter().map(|&p| t.insert(p).unwrap()).collect();
+        let queries = random_points(400, 62);
+        let expected: Vec<VertexId> = queries
+            .iter()
+            .map(|&q| t.nearest_vertex(q).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for worker in 0..4 {
+                let t = &t;
+                let queries = &queries;
+                let expected = &expected;
+                let ids = &ids;
+                s.spawn(move || {
+                    for (i, &q) in queries.iter().enumerate() {
+                        assert_eq!(t.nearest_vertex(q), Some(expected[i]));
+                        match t.locate(q) {
+                            Locate::Inside(_) | Locate::OnEdge(_, _) | Locate::OnVertex(_) => {}
+                            Locate::Outside => panic!("interior point located outside"),
+                        }
+                        let v = ids[(i * 7 + worker) % ids.len()];
+                        assert_eq!(t.locate(t.point(v)), Locate::OnVertex(v));
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -50,6 +50,30 @@ impl TrafficStats {
         self.total += 1;
     }
 
+    /// Bulk-records `n` messages of one kind (the per-kind and total
+    /// counters only).  Together with [`TrafficStats::add_sender`] this
+    /// decomposes [`TrafficStats::record`] for batched appliers that
+    /// aggregate per-kind and per-sender counts independently: `record(f,
+    /// k)` ≡ `add_kind(k, 1); add_sender(f, 1)`.  No entry is created when
+    /// `n == 0`, so bulk application leaves the maps identical to an
+    /// equivalent sequence of `record` calls.
+    pub fn add_kind(&mut self, kind: MessageKind, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.per_kind.entry(kind).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Bulk-records `n` messages sent by one node (the per-sender counter
+    /// only); see [`TrafficStats::add_kind`].
+    pub fn add_sender(&mut self, node: NodeId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.per_node_sent.entry(node).or_insert(0) += n;
+    }
+
     /// Total number of messages recorded.
     pub fn total(&self) -> u64 {
         self.total
@@ -192,6 +216,29 @@ mod tests {
         a.reset();
         assert_eq!(a.total(), 0);
         assert_eq!(a.max_sender(), None);
+    }
+
+    #[test]
+    fn bulk_adds_decompose_record_exactly() {
+        // `record(f, k)` must equal `add_kind(k, 1) + add_sender(f, 1)`,
+        // including map *shape* (no zero-count entries), so batch appliers
+        // replaying aggregated counts reproduce bit-identical stats.
+        let mut inline = TrafficStats::new();
+        inline.record(4, MessageKind::RouteForward);
+        inline.record(4, MessageKind::RouteForward);
+        inline.record(9, MessageKind::Other);
+
+        let mut bulk = TrafficStats::new();
+        bulk.add_kind(MessageKind::RouteForward, 2);
+        bulk.add_kind(MessageKind::Other, 1);
+        bulk.add_kind(MessageKind::Departure, 0); // must not create an entry
+        bulk.add_sender(4, 2);
+        bulk.add_sender(9, 1);
+        bulk.add_sender(77, 0); // must not create an entry
+
+        assert_eq!(inline, bulk);
+        assert_eq!(bulk.total(), 3);
+        assert_eq!(bulk.sent_by(77), 0);
     }
 
     #[test]

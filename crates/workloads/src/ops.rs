@@ -94,6 +94,20 @@ impl OpMix {
         }
     }
 
+    /// Reads only: 90% routes, 10% area queries, no churn.  Batches drawn
+    /// from this mix contain no write barrier, so an engine with a
+    /// parallel read path executes the whole batch as one frozen-snapshot
+    /// run.
+    pub fn read_only() -> Self {
+        OpMix {
+            insert: 0.0,
+            remove: 0.0,
+            route: 0.90,
+            range: 0.05,
+            radius: 0.05,
+        }
+    }
+
     /// Routes only (the Figure 6 measurement workload, in batch form).
     pub fn routes_only() -> Self {
         OpMix {
@@ -245,6 +259,20 @@ mod tests {
             .count();
         assert!((1_400..=1_800).contains(&routes), "routes {routes}");
         assert!((100..=300).contains(&inserts), "inserts {inserts}");
+    }
+
+    #[test]
+    fn read_only_mix_scripts_no_write_barrier() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 3, OpMix::read_only());
+        let batch = g.batch(50, 1_000);
+        assert!(batch
+            .iter()
+            .all(|op| !matches!(op, WorkloadOp::Insert { .. } | WorkloadOp::Remove { .. })));
+        let queries = batch
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Range { .. } | WorkloadOp::Radius { .. }))
+            .count();
+        assert!((40..=180).contains(&queries), "queries {queries}");
     }
 
     #[test]

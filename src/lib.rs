@@ -56,8 +56,8 @@ pub mod prelude {
         VoronetError,
     };
     pub use voronet_core::{
-        radius_query, range_query, JoinReport, LeaveReport, ObjectId, ObjectView, RouteReport,
-        VoroNet, VoroNetConfig,
+        radius_query, range_query, FrozenView, JoinReport, LeaveReport, ObjectId, ObjectView,
+        RouteReport, RouteScratch, VoroNet, VoroNetConfig,
     };
     pub use voronet_geom::{Point2, Rect, Triangulation};
     pub use voronet_stats::{IntHistogram, Series};

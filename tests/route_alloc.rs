@@ -1,7 +1,10 @@
 //! Counting-allocator proof of the zero-copy routing hot path: once the
-//! caller's path buffer has warmed up, a greedy route over the arena-backed
+//! caller's buffers have warmed up, a greedy route over the arena-backed
 //! overlay performs **no heap allocation at all** — every hop is a scan of
-//! a borrowed [`voronet_core::ViewRef`].
+//! a borrowed [`voronet_core::ViewRef`].  The pin covers all three read
+//! operations routed through the reusable [`voronet_core::RouteScratch`]
+//! (`route_to_point_in`, `route_between_in`, `handle_query_in`) as well as
+//! the inline-accounting `route_to_point_into` wrapper.
 //!
 //! This file deliberately contains a single test: the counting allocator is
 //! process-global, and a concurrently running test would perturb the count.
@@ -85,5 +88,49 @@ fn greedy_routing_is_allocation_free_after_warmup() {
         "greedy routing over a warmed-up overlay must not touch the heap \
          ({allocated} allocations across {} routes, {total_hops} hops)",
         pairs.len()
+    );
+
+    // The `&self` scratch forms of all three read operations: routes to a
+    // point, routes between objects and point queries share one warmed
+    // RouteScratch and must not allocate either.  The delta buffer grows
+    // during warm-up and is cleared (capacity kept) between passes.
+    let mut scratch = voronet::core::RouteScratch::new();
+    for &(a, b) in &pairs {
+        let target = net.coords(b).unwrap();
+        net.route_to_point_in(a, target, &mut scratch).unwrap();
+        net.route_between_in(a, b, &mut scratch).unwrap();
+        net.handle_query_in(a, target, &mut scratch).unwrap();
+    }
+    scratch.delta.clear();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for (&(a, b), &expected_hops) in pairs.iter().zip(&warm_hops) {
+        let target = net.coords(b).unwrap();
+        let (owner, hops) = net.route_to_point_in(a, target, &mut scratch).unwrap();
+        assert_eq!((owner, hops), (b, expected_hops));
+        let (owner, hops) = net.route_between_in(a, b, &mut scratch).unwrap();
+        assert_eq!((owner, hops), (b, expected_hops));
+        let (owner, hops) = net.handle_query_in(a, target, &mut scratch).unwrap();
+        assert_eq!((owner, hops), (b, expected_hops));
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(
+        scratch.delta.len() as u64 >= 3 * total_hops,
+        "the scratch delta must have accumulated every recorded message"
+    );
+    assert_eq!(
+        allocated, 0,
+        "scratch-based routes and point queries must not touch the heap \
+         ({allocated} allocations)"
+    );
+
+    // Applying the accumulated delta replays onto already-materialised
+    // counters: no allocation there either.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    net.apply_traffic(&scratch.delta);
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "replaying a delta over warmed counters must not touch the heap"
     );
 }
