@@ -50,6 +50,7 @@ pub mod async_engine;
 pub mod builder;
 pub mod ops;
 pub mod overlay;
+pub mod replay;
 pub mod sync_engine;
 pub mod workload;
 

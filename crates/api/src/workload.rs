@@ -61,6 +61,14 @@ pub fn resolve_workload(overlay: &dyn Overlay, script: &[WorkloadOp]) -> Vec<Op>
                     query,
                 });
             }
+            WorkloadOp::Snapshot { index } => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                ops.push(Op::Snapshot {
+                    id: mirror[index % mirror.len()],
+                });
+            }
         }
     }
     ops

@@ -49,7 +49,9 @@ pub use config::{DminRule, VoroNetConfig};
 pub use dynamic::{adapt_nmax, AdaptationPolicy, AdaptationReport, RefreshStrategy};
 pub use error::{ErrorKind, VoronetError};
 pub use object::{BackLink, LinkIndex, LongLink, ObjectId, ObjectView, ViewRef};
-pub use overlay::{JoinError, JoinReport, LeaveReport, OverlayError, RouteReport, VoroNet};
+pub use overlay::{
+    InvariantAudit, JoinError, JoinReport, LeaveReport, OverlayError, RouteReport, VoroNet,
+};
 pub use protocol::{algorithm5_route, Algorithm5Report, StopReason};
 pub use queries::{
     radius_query, radius_query_in, range_query, range_query_in, segment_query, AreaQueryReport,

@@ -108,6 +108,10 @@ pub enum Delivery {
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
     latency: LatencyModel,
+    /// Scheduled latency regime changes, sorted by activation time: from
+    /// each entry's instant (inclusive) onwards, its model replaces the
+    /// previous one.
+    latency_shifts: Vec<(SimTime, LatencyModel)>,
     loss_probability: f64,
     partitions: Vec<PartitionWindow>,
     rng: StdRng,
@@ -125,10 +129,33 @@ impl NetworkModel {
     pub fn new(seed: u64, latency: LatencyModel) -> Self {
         NetworkModel {
             latency,
+            latency_shifts: Vec::new(),
             loss_probability: 0.0,
             partitions: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0x6E65_745F_6D6F_6465),
         }
+    }
+
+    /// Schedules a latency-regime shift: from `at` (inclusive) onwards,
+    /// messages are delayed by `latency` instead of the previously active
+    /// model.  Multiple shifts compose into a piecewise schedule; the
+    /// latest shift at or before the submission instant wins.  Scenario
+    /// generators use this to model a network whose conditions degrade or
+    /// recover mid-run.
+    pub fn with_latency_shift(mut self, at: SimTime, latency: LatencyModel) -> Self {
+        self.latency_shifts.push((at, latency));
+        self.latency_shifts.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// The latency model in effect at instant `now`.
+    pub fn latency_at(&self, now: SimTime) -> LatencyModel {
+        self.latency_shifts
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= now)
+            .map(|&(_, m)| m)
+            .unwrap_or(self.latency)
     }
 
     /// Sets the iid per-message loss probability (clamped to `[0, 1)`).
@@ -159,7 +186,7 @@ impl NetworkModel {
         // Draw the latency before the loss coin so that the number of RNG
         // draws per submission is constant — losing a message must not shift
         // the latency stream of subsequent messages in confusing ways.
-        let delay = self.latency.sample(&mut self.rng);
+        let delay = self.latency_at(now).sample(&mut self.rng);
         if self.loss_probability > 0.0 && self.rng.random_bool(self.loss_probability) {
             return Delivery::DroppedLoss;
         }
@@ -245,6 +272,27 @@ mod tests {
             .count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "loss rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn latency_shifts_take_effect_at_their_instant() {
+        let mut m = NetworkModel::new(0, LatencyModel::Fixed(1))
+            .with_latency_shift(50, LatencyModel::Fixed(7))
+            .with_latency_shift(100, LatencyModel::Fixed(2));
+        assert_eq!(m.latency_at(0), LatencyModel::Fixed(1));
+        assert_eq!(m.latency_at(49), LatencyModel::Fixed(1));
+        assert_eq!(m.latency_at(50), LatencyModel::Fixed(7));
+        assert_eq!(m.latency_at(99), LatencyModel::Fixed(7));
+        assert_eq!(m.latency_at(100), LatencyModel::Fixed(2));
+        assert_eq!(m.delivery(0, 1, 10), Delivery::Deliver { delay: 1 });
+        assert_eq!(m.delivery(0, 1, 60), Delivery::Deliver { delay: 7 });
+        assert_eq!(m.delivery(0, 1, 200), Delivery::Deliver { delay: 2 });
+        // Shifts registered out of order still form a sorted schedule.
+        let m = NetworkModel::new(0, LatencyModel::Fixed(1))
+            .with_latency_shift(80, LatencyModel::Fixed(3))
+            .with_latency_shift(20, LatencyModel::Fixed(9));
+        assert_eq!(m.latency_at(30), LatencyModel::Fixed(9));
+        assert_eq!(m.latency_at(90), LatencyModel::Fixed(3));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The testkit CLI: seeded differential fuzzing with shrinking
+//! reproducers.
+//!
+//! ```text
+//! fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N]
+//!      [--out DIR] [--replay FILE]... [--no-replay-dir] [--dump-ops FILE]
+//!      [--demo-fault]
+//! ```
+//!
+//! Default behaviour (the CI `fuzz-smoke` step):
+//!
+//! 1. replay every reproducer file under `--out` (default
+//!    `tests/reproducers/`) — a reproducer that still diverges fails the
+//!    run, so a divergence committed to the tree must be fixed before CI
+//!    goes green again;
+//! 2. run `--cases` generated cases of `--ops` ops from `--seed`
+//!    upwards; on divergence, shrink the case and write a reproducer
+//!    into `--out`, then exit non-zero.
+//!
+//! `VORONET_SMOKE=1` selects the CI budget (one 10k-op acceptance case
+//! plus a handful of smaller mixed cases); without it the fuzzer runs
+//! the same shape with a larger case count.  `--demo-fault` plants the
+//! deliberate frozen-route defect and *expects* to catch and shrink it —
+//! a self-test of the whole detect→shrink→reproduce pipeline.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use voronet_testkit::{
+    generate_case, list_reproducers, read_reproducer, run_case, shrink_case, write_reproducer,
+    Fault, FuzzSpec,
+};
+
+struct Args {
+    seed: u64,
+    cases: usize,
+    ops: Option<usize>,
+    warmup: usize,
+    threads: usize,
+    out: PathBuf,
+    replay: Vec<PathBuf>,
+    replay_dir: bool,
+    dump_ops: Option<PathBuf>,
+    demo_fault: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2007,
+        cases: if smoke() { 4 } else { 16 },
+        ops: None,
+        warmup: 64,
+        threads: 4,
+        out: PathBuf::from("tests/reproducers"),
+        replay: Vec::new(),
+        replay_dir: true,
+        dump_ops: None,
+        demo_fault: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--cases" => {
+                args.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
+            "--ops" => args.ops = Some(value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?),
+            "--warmup" => {
+                args.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--replay" => args.replay.push(PathBuf::from(value("--replay")?)),
+            "--no-replay-dir" => args.replay_dir = false,
+            "--dump-ops" => args.dump_ops = Some(PathBuf::from(value("--dump-ops")?)),
+            "--demo-fault" => args.demo_fault = true,
+            "--help" | "-h" => {
+                println!(
+                    "fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N] \
+                     [--out DIR] [--replay FILE]... [--no-replay-dir] [--dump-ops FILE] \
+                     [--demo-fault]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn smoke() -> bool {
+    std::env::var("VORONET_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Dumps the first-round resolved op batch of a case (the id-level replay
+/// format of `voronet_api::replay`) for manual debugging.
+fn dump_resolved_ops(case: &voronet_testkit::FuzzCase, path: &PathBuf) -> std::io::Result<()> {
+    use voronet_api::{resolve_workload, Overlay, OverlayBuilder};
+    let mut engine = OverlayBuilder::new(case.nmax).seed(case.seed).build_sync();
+    let mut text = String::new();
+    for chunk in case.script.chunks(case.round.max(1)) {
+        let ops = resolve_workload(&engine, chunk);
+        text.push_str(&voronet_api::replay::encode_batch(&ops));
+        for op in &ops {
+            engine.apply(op);
+        }
+    }
+    std::fs::write(path, text)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fault = if args.demo_fault {
+        Fault::FrozenRouteExtraHop
+    } else {
+        Fault::None
+    };
+
+    // ---- replay phase -------------------------------------------------
+    let mut replay_files = args.replay.clone();
+    if args.replay_dir {
+        replay_files.extend(list_reproducers(&args.out));
+    }
+    replay_files.sort();
+    replay_files.dedup();
+    let mut failures = 0usize;
+    for path in &replay_files {
+        match read_reproducer(path) {
+            Err(e) => {
+                eprintln!("fuzz: {}: {e}", path.display());
+                failures += 1;
+            }
+            // Committed reproducers document *fixed* bugs: they must
+            // replay clean on the faithful executions, so the planted
+            // --demo-fault defect never applies here (it would falsely
+            // flag any reproducer containing a multi-hop route).
+            Ok(case) => match run_case(&case, Fault::None) {
+                Ok(report) => println!(
+                    "replay {} … clean ({} ops, {} rounds)",
+                    path.display(),
+                    report.ops_run,
+                    report.rounds
+                ),
+                Err(d) => {
+                    eprintln!(
+                        "fuzz: reproducer {} STILL DIVERGES: {d}\n      fix the bug (or remove \
+                         the file once obsolete) to unblock CI",
+                        path.display()
+                    );
+                    failures += 1;
+                }
+            },
+        }
+    }
+    if failures > 0 {
+        return ExitCode::FAILURE;
+    }
+
+    // ---- fuzz phase ---------------------------------------------------
+    let mut specs: Vec<FuzzSpec> = Vec::new();
+    if args.cases > 0 {
+        // The acceptance case: one deep 10k-op script on the base seed.
+        let deep = FuzzSpec {
+            warmup: args.warmup.max(100),
+            threads: args.threads,
+            ..FuzzSpec::deep(args.seed)
+        };
+        specs.push(match args.ops {
+            Some(ops) => FuzzSpec { ops, ..deep },
+            None => deep,
+        });
+    }
+    // Smaller mixed cases on successor seeds.
+    for i in 1..args.cases as u64 {
+        let mut spec = FuzzSpec::smoke(args.seed + i);
+        spec.warmup = args.warmup.min(48);
+        spec.threads = args.threads;
+        if let Some(ops) = args.ops {
+            spec.ops = ops.min(600);
+        }
+        specs.push(spec);
+    }
+
+    let mut total_ops = 0usize;
+    let started = std::time::Instant::now();
+    for spec in &specs {
+        let case = generate_case(spec);
+        if let Some(path) = &args.dump_ops {
+            if let Err(e) = dump_resolved_ops(&case, path) {
+                eprintln!("fuzz: --dump-ops {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        match run_case(&case, fault) {
+            Ok(report) => {
+                total_ops += report.ops_run;
+                println!(
+                    "seed {} … clean ({} ops, {} rounds, population {}, lossy lost {}, \
+                     {} invariant node-checks)",
+                    spec.seed,
+                    report.ops_run,
+                    report.rounds,
+                    report.population,
+                    report.lossy_lost,
+                    report.invariants_checked
+                );
+            }
+            Err(divergence) => {
+                eprintln!("seed {}: DIVERGENCE {divergence}", spec.seed);
+                eprintln!("seed {}: shrinking …", spec.seed);
+                let outcome = shrink_case(&case, fault, 2_000);
+                eprintln!(
+                    "seed {}: shrunk {} → {} ops in {} executions: {}",
+                    spec.seed,
+                    case.script.len(),
+                    outcome.case.script.len(),
+                    outcome.executions,
+                    outcome.divergence
+                );
+                if args.demo_fault {
+                    // Self-test mode: catching and shrinking the planted
+                    // fault is the *expected* outcome.
+                    println!(
+                        "demo-fault: planted defect caught and shrunk to {} ops — pipeline OK",
+                        outcome.case.script.len()
+                    );
+                    return if outcome.case.script.len() <= 20 {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("demo-fault: reproducer larger than the 20-op acceptance bound");
+                        ExitCode::FAILURE
+                    };
+                }
+                match write_reproducer(&args.out, &outcome.case, Some(&outcome.divergence)) {
+                    Ok(path) => eprintln!(
+                        "seed {}: reproducer written to {}",
+                        spec.seed,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("seed {}: cannot write reproducer: {e}", spec.seed),
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.demo_fault {
+        eprintln!("demo-fault: the planted defect was NOT detected — the checker is broken");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fuzz: {} cases, {total_ops} ops, no divergence ({:.1?})",
+        specs.len(),
+        started.elapsed()
+    );
+    ExitCode::SUCCESS
+}

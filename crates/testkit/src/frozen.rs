@@ -1,0 +1,245 @@
+//! The frozen-snapshot execution under differential test, plus fault
+//! injection.
+//!
+//! [`FrozenReplay`] drives its own [`VoroNet`] through the same op
+//! sequence as the engines, but serves every read through a [`FrozenView`]
+//! rebuilt lazily after each write barrier — the read path
+//! `SyncEngine::apply_batch` uses for long read runs, here exercised for
+//! *every* read so short runs are covered too.  Traffic deltas are
+//! replayed onto the overlay after each read, which must reproduce the
+//! live engines' counters bit for bit.
+//!
+//! [`Fault`] deliberately corrupts this execution (never the shared
+//! production code): the harness's self-test injects a wrong hop count
+//! into the frozen route results and asserts the differential checker
+//! catches it and the shrinker reduces the offending script to a handful
+//! of ops.
+
+use voronet_api::{InsertOutcome, Op, OpResult, OverlayStats, RemoveOutcome, RouteOutcome};
+use voronet_core::queries::{radius_query_in, range_query_in};
+use voronet_core::snapshot::{FrozenView, RouteScratch};
+use voronet_core::{ObjectId, OverlayError, VoroNet, VoroNetConfig};
+use voronet_sim::RouteStats;
+
+/// A deliberate defect injected into the frozen execution (self-test
+/// instrumentation; [`Fault::None`] in every real fuzz run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No fault: the frozen execution is faithful.
+    #[default]
+    None,
+    /// Every frozen route that takes at least one hop reports one hop too
+    /// many — the "wrong hop in a scratch copy of `FrozenView`" defect the
+    /// acceptance self-test plants and expects to be caught and shrunk.
+    FrozenRouteExtraHop,
+}
+
+/// The frozen-view execution of an op sequence (see the [module
+/// docs](self)).
+pub struct FrozenReplay {
+    net: VoroNet,
+    routes: RouteStats,
+    scratch: RouteScratch,
+    view: Option<FrozenView>,
+    fault: Fault,
+}
+
+impl FrozenReplay {
+    /// Creates a replay engine over a fresh overlay.
+    pub fn new(config: VoroNetConfig, fault: Fault) -> Self {
+        FrozenReplay {
+            net: VoroNet::new(config),
+            routes: RouteStats::new(),
+            scratch: RouteScratch::new(),
+            view: None,
+            fault,
+        }
+    }
+
+    /// Read access to the underlying overlay.
+    pub fn net(&self) -> &VoroNet {
+        &self.net
+    }
+
+    /// Aggregate counters, shaped like the engines' stats for direct
+    /// comparison.
+    pub fn stats(&self) -> OverlayStats {
+        OverlayStats {
+            population: self.net.len(),
+            messages: self.net.traffic().total(),
+            routes_completed: self.routes.count() as u64,
+            mean_route_hops: if self.routes.count() == 0 {
+                0.0
+            } else {
+                self.routes.mean()
+            },
+        }
+    }
+
+    fn sabotage(&self, owner: ObjectId, hops: u32) -> RouteOutcome {
+        let hops = match self.fault {
+            Fault::FrozenRouteExtraHop if hops >= 1 => hops + 1,
+            _ => hops,
+        };
+        RouteOutcome { owner, hops }
+    }
+
+    /// Runs one frozen-view walk (`FrozenView::route_to_point_in` or
+    /// `FrozenView::route_between_in` — the exact helpers the parallel
+    /// sync engine's read runs call), replays the accounting and applies
+    /// the configured fault to the outcome.
+    fn frozen_route(
+        &mut self,
+        walk: impl FnOnce(&FrozenView, &mut RouteScratch) -> Result<(ObjectId, u32), OverlayError>,
+    ) -> OpResult {
+        if self.view.is_none() {
+            self.view = Some(self.net.freeze());
+        }
+        let view = self.view.as_ref().expect("just built");
+        self.scratch.delta.clear();
+        match walk(view, &mut self.scratch) {
+            Ok((owner, hops)) => {
+                self.net.apply_traffic(&self.scratch.delta);
+                self.routes.record(hops);
+                OpResult::Routed(self.sabotage(owner, hops))
+            }
+            Err(e) => OpResult::Failed(e.into()),
+        }
+    }
+
+    /// Applies one op, mirroring the per-op semantics of the synchronous
+    /// engine but reading through the frozen snapshot.
+    pub fn apply(&mut self, op: &Op) -> OpResult {
+        match *op {
+            Op::Insert { position } => {
+                self.view = None;
+                match self.net.insert(position) {
+                    Ok(report) => OpResult::Inserted(InsertOutcome { id: report.id }),
+                    Err(e) => OpResult::Failed(e.into()),
+                }
+            }
+            Op::Remove { id } => {
+                self.view = None;
+                match self.net.remove(id) {
+                    Ok(_) => OpResult::Removed(RemoveOutcome { id }),
+                    Err(e) => OpResult::Failed(e.into()),
+                }
+            }
+            Op::Route { from, target } => {
+                self.frozen_route(|view, scratch| view.route_to_point_in(from, target, scratch))
+            }
+            Op::RouteBetween { from, to } => {
+                self.frozen_route(|view, scratch| view.route_between_in(from, to, scratch))
+            }
+            Op::Range { from, query } => {
+                self.scratch.delta.clear();
+                match range_query_in(&self.net, from, query, &mut self.scratch) {
+                    Ok(report) => {
+                        self.net.apply_traffic(&self.scratch.delta);
+                        OpResult::Queried(report.into())
+                    }
+                    Err(e) => OpResult::Failed(e.into()),
+                }
+            }
+            Op::Radius { from, query } => {
+                self.scratch.delta.clear();
+                match radius_query_in(&self.net, from, query, &mut self.scratch) {
+                    Ok(report) => {
+                        self.net.apply_traffic(&self.scratch.delta);
+                        OpResult::Queried(report.into())
+                    }
+                    Err(e) => OpResult::Failed(e.into()),
+                }
+            }
+            Op::Snapshot { id } => match self.net.view(id) {
+                Ok(v) => OpResult::Snapshotted(Box::new(v)),
+                Err(e) => OpResult::Failed(e.into()),
+            },
+        }
+    }
+
+    /// Forces the next read to rebuild its snapshot (used by tests).
+    pub fn invalidate(&mut self) {
+        self.view = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voronet_api::{Overlay, OverlayBuilder};
+    use voronet_geom::Point2;
+    use voronet_workloads::{Distribution, PointGenerator, RangeQuery};
+
+    #[test]
+    fn faithful_replay_matches_the_sync_engine_bit_for_bit() {
+        let mut engine = OverlayBuilder::new(300).seed(31).build_sync();
+        let mut replay = FrozenReplay::new(*engine.config(), Fault::None);
+        let mut points = PointGenerator::new(Distribution::Uniform, 31);
+        let mut ops: Vec<Op> = (0..60)
+            .map(|_| Op::Insert {
+                position: points.next_point(),
+            })
+            .collect();
+        for i in 0..40u64 {
+            ops.push(Op::RouteBetween {
+                from: ObjectId(i % 50),
+                to: ObjectId((i * 7 + 1) % 50),
+            });
+        }
+        ops.push(Op::Range {
+            from: ObjectId(2),
+            query: RangeQuery {
+                rect: voronet_geom::Rect::new(Point2::new(0.2, 0.2), Point2::new(0.7, 0.7)),
+            },
+        });
+        ops.push(Op::Remove { id: ObjectId(5) });
+        ops.push(Op::Snapshot { id: ObjectId(6) });
+        for op in &ops {
+            let live = engine.apply(op);
+            let frozen = replay.apply(op);
+            assert_eq!(live, frozen, "op {op:?}");
+        }
+        assert_eq!(engine.stats(), replay.stats());
+        for id in engine.ids() {
+            assert_eq!(engine.net().sent_by(id), replay.net().sent_by(id));
+        }
+    }
+
+    #[test]
+    fn the_injected_fault_perturbs_exactly_the_multi_hop_routes() {
+        let mut engine = OverlayBuilder::new(100).seed(3).build_sync();
+        let mut replay = FrozenReplay::new(*engine.config(), Fault::FrozenRouteExtraHop);
+        let mut points = PointGenerator::new(Distribution::Uniform, 3);
+        for _ in 0..20 {
+            let op = Op::Insert {
+                position: points.next_point(),
+            };
+            assert_eq!(engine.apply(&op), replay.apply(&op));
+        }
+        let op = Op::RouteBetween {
+            from: ObjectId(0),
+            to: ObjectId(0),
+        };
+        // Self-routes take 0 hops and stay untouched.
+        assert_eq!(engine.apply(&op), replay.apply(&op));
+        let mut diverged = false;
+        for i in 1..20u64 {
+            let op = Op::RouteBetween {
+                from: ObjectId(0),
+                to: ObjectId(i),
+            };
+            let live = engine.apply(&op);
+            let frozen = replay.apply(&op);
+            let (OpResult::Routed(l), OpResult::Routed(f)) = (&live, &frozen) else {
+                panic!("routes between live objects succeed");
+            };
+            assert_eq!(l.owner, f.owner);
+            if l.hops >= 1 {
+                assert_eq!(f.hops, l.hops + 1, "fault adds exactly one hop");
+                diverged = true;
+            }
+        }
+        assert!(diverged, "some route must take at least one hop");
+    }
+}

@@ -1,0 +1,295 @@
+//! Seeded generation of fuzz cases from a weighted op grammar.
+//!
+//! A [`FuzzCase`] is fully self-describing: the overlay parameters, the
+//! network profile of the lossy companion run, and an engine-agnostic
+//! [`WorkloadOp`] script (participants named by dense population index, so
+//! the script survives arbitrary subsequence removal during shrinking).
+//! Generation reuses [`OpBatchGenerator`]/[`OpMix`] as the grammar
+//! backbone: the script opens with a warm-up burst of inserts, then
+//! alternates weighted segments — read-heavy serving, churn bursts,
+//! read-only stretches (which exercise the frozen parallel path), and a
+//! balanced mix that includes snapshots — while the lossy profile layers
+//! network events on top: iid loss, latency shifts and partition windows.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use voronet_sim::{LatencyModel, NetworkModel, PartitionWindow};
+use voronet_workloads::{Distribution, OpBatchGenerator, OpMix, PointGenerator, WorkloadOp};
+
+/// Knobs of case generation (what [`generate_case`] consumes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzSpec {
+    /// Master seed: two specs with the same seed generate the same case.
+    pub seed: u64,
+    /// Warm-up inserts opening the script.
+    pub warmup: usize,
+    /// Generated operations after the warm-up.
+    pub ops: usize,
+    /// Provisioned overlay capacity (`N_max`).
+    pub nmax: usize,
+    /// Worker threads of the parallel sync engine under test.
+    pub threads: usize,
+    /// Whether to attach a lossy network profile (adds the lossy async
+    /// companion run).
+    pub lossy: bool,
+}
+
+impl FuzzSpec {
+    /// A small, CI-friendly spec (a few hundred ops).
+    pub fn smoke(seed: u64) -> Self {
+        FuzzSpec {
+            seed,
+            warmup: 24,
+            ops: 220,
+            nmax: 400,
+            threads: 4,
+            lossy: seed % 2 == 1,
+        }
+    }
+
+    /// The acceptance-grade spec: a 10k-op script.
+    pub fn deep(seed: u64) -> Self {
+        FuzzSpec {
+            seed,
+            warmup: 120,
+            ops: 10_000,
+            nmax: 4_000,
+            threads: 4,
+            lossy: true,
+        }
+    }
+}
+
+/// The network conditions of the lossy companion run, in serializable
+/// form (resolved to a [`NetworkModel`] at execution time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetProfile {
+    /// No companion run: only the four deterministic executions.
+    Ideal,
+    /// A lossy, latency-shifting, occasionally partitioned network.
+    Lossy {
+        /// Seed of the network's own RNG.
+        seed: u64,
+        /// iid per-message loss probability.
+        loss: f64,
+        /// Initial latency bounds (uniform in `[min, max]`).
+        lat_min: u64,
+        /// Upper latency bound.
+        lat_max: u64,
+        /// Optional latency shift: from instant `.0`, latency becomes
+        /// uniform in `[.1, .2]`.
+        shift: Option<(u64, u64, u64)>,
+        /// Optional partition window `(start, end, groups)`.
+        partition: Option<(u64, u64, u64)>,
+    },
+}
+
+impl NetProfile {
+    /// Builds the concrete network model.
+    pub fn network(&self) -> NetworkModel {
+        match *self {
+            NetProfile::Ideal => NetworkModel::ideal(),
+            NetProfile::Lossy {
+                seed,
+                loss,
+                lat_min,
+                lat_max,
+                shift,
+                partition,
+            } => {
+                let mut model = NetworkModel::new(
+                    seed,
+                    LatencyModel::Uniform {
+                        min: lat_min,
+                        max: lat_max,
+                    },
+                )
+                .with_loss(loss);
+                if let Some((at, min, max)) = shift {
+                    model = model.with_latency_shift(at, LatencyModel::Uniform { min, max });
+                }
+                if let Some((start, end, groups)) = partition {
+                    model = model.with_partition(PartitionWindow { start, end, groups });
+                }
+                model
+            }
+        }
+    }
+}
+
+/// One self-contained, replayable fuzz case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Seed of every engine's stochastic choices.
+    pub seed: u64,
+    /// Provisioned overlay capacity.
+    pub nmax: usize,
+    /// Worker threads of the parallel sync engine.
+    pub threads: usize,
+    /// Ops per resolution round (scripts resolve participant indices
+    /// against live state once per round, so later rounds can address
+    /// objects inserted by earlier ones).
+    pub round: usize,
+    /// Network profile of the lossy companion run.
+    pub net: NetProfile,
+    /// The op script.
+    pub script: Vec<WorkloadOp>,
+}
+
+/// Generates the case a spec describes (deterministic in `spec.seed`).
+pub fn generate_case(spec: &FuzzSpec) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7E57_4B17);
+    let mut script = Vec::with_capacity(spec.warmup + spec.ops);
+
+    // Warm-up: enough population for routes/queries to be non-trivial.
+    let mut points = PointGenerator::new(Distribution::Uniform, spec.seed ^ 0x57A2);
+    for _ in 0..spec.warmup {
+        script.push(WorkloadOp::Insert {
+            position: points.next_point(),
+        });
+    }
+
+    // Weighted segments over the OpMix grammar.
+    let mut pop = spec.warmup.max(1);
+    while script.len() < spec.warmup + spec.ops {
+        let remaining = spec.warmup + spec.ops - script.len();
+        let len = rng.random_range(32..=192usize).min(remaining);
+        let mix = match rng.random_range(0..10u32) {
+            0..=3 => OpMix {
+                snapshot: 0.02,
+                ..OpMix::read_heavy()
+            },
+            4..=5 => OpMix::churn_heavy(),
+            6..=7 => OpMix {
+                snapshot: 0.05,
+                ..OpMix::read_only()
+            },
+            _ => OpMix {
+                insert: 0.15,
+                remove: 0.10,
+                route: 0.45,
+                range: 0.10,
+                radius: 0.10,
+                snapshot: 0.10,
+            },
+        };
+        let dist = match rng.random_range(0..4u32) {
+            0 => Distribution::Uniform,
+            1 => Distribution::PowerLaw { alpha: 1.0 },
+            2 => Distribution::Clusters {
+                clusters: 5,
+                spread: 0.05,
+            },
+            _ => Distribution::Grid {
+                side: 24,
+                jitter: 0.4,
+            },
+        };
+        let extent = if rng.random_range(0..4u32) == 0 {
+            1.0
+        } else {
+            0.2
+        };
+        let mut gen =
+            OpBatchGenerator::new(dist, rng.random::<u64>(), mix).with_max_query_extent(extent);
+        let segment = gen.batch(pop, len);
+        for op in &segment {
+            match op {
+                WorkloadOp::Insert { .. } => pop += 1,
+                WorkloadOp::Remove { .. } => pop = pop.saturating_sub(1).max(1),
+                _ => {}
+            }
+        }
+        script.extend(segment);
+    }
+
+    let net = if spec.lossy {
+        let lat_min = rng.random_range(1..4u64);
+        let lat_max = lat_min + rng.random_range(1..12u64);
+        let shift = if rng.random_range(0..2u32) == 0 {
+            let min = rng.random_range(1..6u64);
+            Some((
+                rng.random_range(50..400u64),
+                min,
+                min + rng.random_range(1..20u64),
+            ))
+        } else {
+            None
+        };
+        let partition = if rng.random_range(0..3u32) == 0 {
+            let start = rng.random_range(50..600u64);
+            Some((
+                start,
+                start + rng.random_range(20..200u64),
+                rng.random_range(2..4u64),
+            ))
+        } else {
+            None
+        };
+        NetProfile::Lossy {
+            seed: rng.random::<u64>(),
+            loss: f64::from(rng.random_range(1..30u32)) / 100.0,
+            lat_min,
+            lat_max,
+            shift,
+            partition,
+        }
+    } else {
+        NetProfile::Ideal
+    };
+
+    FuzzCase {
+        seed: spec.seed,
+        nmax: spec.nmax,
+        threads: spec.threads.max(1),
+        round: 64,
+        net,
+        script,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = FuzzSpec::smoke(42);
+        assert_eq!(generate_case(&spec), generate_case(&spec));
+        let other = FuzzSpec::smoke(43);
+        assert_ne!(generate_case(&spec).script, generate_case(&other).script);
+    }
+
+    #[test]
+    fn scripts_open_with_the_warmup_and_hit_the_requested_length() {
+        let spec = FuzzSpec::smoke(7);
+        let case = generate_case(&spec);
+        assert_eq!(case.script.len(), spec.warmup + spec.ops);
+        assert!(case.script[..spec.warmup]
+            .iter()
+            .all(|op| matches!(op, WorkloadOp::Insert { .. })));
+        // The generated tail contains more than one op family.
+        let tail = &case.script[spec.warmup..];
+        assert!(tail.iter().any(|op| matches!(op, WorkloadOp::Route { .. })));
+        assert!(tail
+            .iter()
+            .any(|op| matches!(op, WorkloadOp::Insert { .. })));
+    }
+
+    #[test]
+    fn lossy_profiles_resolve_to_lossy_networks() {
+        let case = generate_case(&FuzzSpec {
+            lossy: true,
+            ..FuzzSpec::smoke(3)
+        });
+        let NetProfile::Lossy { .. } = case.net else {
+            panic!("lossy spec must generate a lossy profile");
+        };
+        assert!(case.net.network().is_lossy());
+        let ideal = generate_case(&FuzzSpec {
+            lossy: false,
+            ..FuzzSpec::smoke(3)
+        });
+        assert_eq!(ideal.net, NetProfile::Ideal);
+    }
+}

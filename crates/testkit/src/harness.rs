@@ -1,0 +1,362 @@
+//! The differential harness: one script, five executions, zero tolerated
+//! disagreement.
+//!
+//! [`run_case`] replays a [`FuzzCase`] simultaneously against
+//!
+//! 1. **sync/1** — the live `VoroNet` walk, one op at a time (the
+//!    reference execution);
+//! 2. **sync/N** — `SyncEngine::apply_batch` with `threads` workers
+//!    (frozen-snapshot parallel read runs between write barriers);
+//! 3. **async** — the message-driven `AsyncOverlay` runtime on a
+//!    loss-free network;
+//! 4. **frozen** — every read served through a
+//!    [`FrozenView`](voronet_core::FrozenView) rebuilt at
+//!    each write barrier ([`crate::frozen::FrozenReplay`]);
+//!
+//! checking every [`OpResult`] element-wise across all four and against
+//! the O(n²) [`OracleModel`].  When the case carries a lossy
+//! [`NetProfile`], a fifth async execution runs under loss, latency
+//! shifts and partition windows — its results legitimately diverge, so it
+//! is checked for *sanity* instead: only `OperationLost`/`UnknownObject`
+//! failures, structural invariants intact after every round.
+//!
+//! Audit points close every resolution round: populations, dense orders,
+//! coordinates, aggregate stats, per-node sent counters and invariant
+//! audits (with non-vacuity asserted via
+//! [`InvariantAudit`](voronet_core::InvariantAudit) counts), plus — while
+//! the population is small — the oracle's brute-force Delaunay
+//! cross-check of the engine's Voronoi neighbour relation.
+
+use crate::frozen::{Fault, FrozenReplay};
+use crate::grammar::{FuzzCase, NetProfile};
+use crate::oracle::OracleModel;
+use voronet_api::{resolve_workload, AsyncEngine, Op, OpResult, Overlay, SyncEngine};
+use voronet_core::{ErrorKind, VoroNetConfig};
+use voronet_geom::Point2;
+use voronet_sim::NetworkModel;
+
+/// A disagreement between executions (or between an execution and the
+/// oracle): what the fuzzer hunts and the shrinker preserves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index into the *resolved* op stream at which the disagreement
+    /// surfaced (`None` for audit-point divergences).
+    pub op_index: Option<usize>,
+    /// Short machine-matchable label ("result:sync/N", "oracle", …).
+    pub kind: String,
+    /// Full human-readable diagnostic.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "[{}] at op {}: {}", self.kind, i, self.detail),
+            None => write!(f, "[{}]: {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// What a divergence-free run covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Ops resolved and executed on every engine.
+    pub ops_run: usize,
+    /// Resolution rounds (== audit points).
+    pub rounds: usize,
+    /// Final population.
+    pub population: usize,
+    /// Operations the lossy companion run lost to the network.
+    pub lossy_lost: usize,
+    /// Invariant checks performed across all audits (sum of audited
+    /// nodes).
+    pub invariants_checked: usize,
+}
+
+struct Fleet {
+    sync1: SyncEngine,
+    syncn: SyncEngine,
+    asynchronous: AsyncEngine,
+    frozen: FrozenReplay,
+    lossy: Option<AsyncEngine>,
+    oracle: OracleModel,
+}
+
+impl Fleet {
+    fn build(case: &FuzzCase, fault: Fault) -> Fleet {
+        let config = VoroNetConfig::new(case.nmax).with_seed(case.seed);
+        Fleet {
+            sync1: SyncEngine::new(config).with_threads(1),
+            syncn: SyncEngine::new(config).with_threads(case.threads),
+            asynchronous: AsyncEngine::new(config, NetworkModel::ideal()),
+            frozen: FrozenReplay::new(config, fault),
+            lossy: match case.net {
+                NetProfile::Ideal => None,
+                lossy => Some(AsyncEngine::new(config, lossy.network())),
+            },
+            oracle: OracleModel::new(&config),
+        }
+    }
+}
+
+fn result_divergence(
+    engine: &str,
+    base: usize,
+    ops: &[Op],
+    reference: &[OpResult],
+    candidate: &[OpResult],
+) -> Option<Divergence> {
+    debug_assert_eq!(reference.len(), candidate.len());
+    for (i, (want, got)) in reference.iter().zip(candidate).enumerate() {
+        if want != got {
+            return Some(Divergence {
+                op_index: Some(base + i),
+                kind: format!("result:{engine}"),
+                detail: format!(
+                    "op {:?} diverges on {engine}: reference (sync/1) {want:?}, {engine} {got:?}",
+                    ops[i]
+                ),
+            });
+        }
+    }
+    None
+}
+
+fn audit_fleet(fleet: &mut Fleet, round: usize, report: &mut RunReport) -> Result<(), Divergence> {
+    let fail = |kind: &str, detail: String| Divergence {
+        op_index: None,
+        kind: kind.to_string(),
+        detail: format!("audit after round {round}: {detail}"),
+    };
+
+    // Populations and dense orders agree everywhere.
+    let ids = fleet.sync1.ids();
+    for (name, other) in [
+        ("sync/N", fleet.syncn.ids()),
+        ("async", fleet.asynchronous.ids()),
+        ("frozen", fleet.frozen.net().ids().collect()),
+    ] {
+        if other != ids {
+            return Err(fail(
+                "audit:population",
+                format!("dense id order diverges on {name}: sync/1 {ids:?}, {name} {other:?}"),
+            ));
+        }
+    }
+    for &id in &ids {
+        let c = fleet.sync1.coords(id);
+        for (name, other) in [
+            ("sync/N", fleet.syncn.coords(id)),
+            ("async", fleet.asynchronous.coords(id)),
+            ("frozen", fleet.frozen.net().coords(id)),
+        ] {
+            if other != c {
+                return Err(fail(
+                    "audit:coords",
+                    format!("coordinates of {id} diverge on {name}: {c:?} vs {other:?}"),
+                ));
+            }
+        }
+    }
+    fleet
+        .oracle
+        .check_population("sync/1", &ids, |id| fleet.sync1.coords(id))
+        .map_err(|e| fail("audit:oracle", e))?;
+
+    // Aggregate stats and per-node sent counters across the three
+    // deterministic sync-semantics executions.
+    let stats = fleet.sync1.stats();
+    for (name, other) in [
+        ("sync/N", fleet.syncn.stats()),
+        ("frozen", fleet.frozen.stats()),
+    ] {
+        if other != stats {
+            return Err(fail(
+                "audit:stats",
+                format!("aggregate stats diverge on {name}: sync/1 {stats:?}, {name} {other:?}"),
+            ));
+        }
+    }
+    for &id in &ids {
+        let sent = fleet.sync1.net().sent_by(id);
+        for (name, other) in [
+            ("sync/N", fleet.syncn.net().sent_by(id)),
+            ("frozen", fleet.frozen.net().sent_by(id)),
+        ] {
+            if other != sent {
+                return Err(fail(
+                    "audit:traffic",
+                    format!(
+                        "per-node sent counter of {id} diverges on {name}: {sent:?} vs {other:?}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Structural invariants, with non-vacuous audits.  The exhaustive
+    // O(n²) close-set reconstruction runs while it is cheap.
+    let exhaustive = ids.len() <= 128;
+    for (name, net) in [
+        ("sync/1", fleet.sync1.net()),
+        ("async", fleet.asynchronous.overlay().net()),
+        ("frozen", fleet.frozen.net()),
+    ] {
+        let audit = net
+            .audit_invariants(exhaustive)
+            .map_err(|e| fail("audit:invariants", format!("{name}: {e}")))?;
+        if audit.nodes != ids.len() {
+            return Err(fail(
+                "audit:invariants",
+                format!(
+                    "{name}: invariant audit visited {} nodes of a population of {}",
+                    audit.nodes,
+                    ids.len()
+                ),
+            ));
+        }
+        report.invariants_checked += audit.nodes;
+    }
+
+    // Brute-force Delaunay cross-check while the population is small.
+    if ids.len() <= 96 {
+        let net = fleet.sync1.net();
+        let targets: Vec<Point2> = (0..6)
+            .map(|i| {
+                let t = f64::from(i) / 6.0;
+                Point2::new(0.07 + 0.86 * t, 0.93 - 0.86 * t)
+            })
+            .collect();
+        fleet
+            .oracle
+            .delaunay_reference_check(
+                |id| net.voronoi_neighbours(id).unwrap_or_default(),
+                &targets,
+            )
+            .map_err(|e| fail("audit:delaunay", e))?;
+    }
+    Ok(())
+}
+
+fn check_lossy(
+    lossy: &mut AsyncEngine,
+    base: usize,
+    ops: &[Op],
+    report: &mut RunReport,
+) -> Result<(), Divergence> {
+    let results = lossy.apply_batch(ops);
+    for (i, result) in results.iter().enumerate() {
+        if let OpResult::Failed(e) = result {
+            match e.kind() {
+                ErrorKind::OperationLost => report.lossy_lost += 1,
+                // The lossy overlay's population legitimately lags the
+                // script (lost joins), so later ops may reference objects
+                // it never admitted or kept — and an insert the reference
+                // rejected as a duplicate may collide differently here.
+                ErrorKind::UnknownObject(_)
+                | ErrorKind::UnknownBootstrap(_)
+                | ErrorKind::DuplicatePosition(_) => {}
+                other => {
+                    return Err(Divergence {
+                        op_index: Some(base + i),
+                        kind: "lossy:error-kind".to_string(),
+                        detail: format!(
+                            "lossy run failed op {:?} with unexpected kind {other:?}: {e}",
+                            ops[i]
+                        ),
+                    })
+                }
+            }
+        }
+    }
+    lossy.verify_invariants().map_err(|e| Divergence {
+        op_index: None,
+        kind: "lossy:invariants".to_string(),
+        detail: format!("lossy run violated invariants: {e}"),
+    })?;
+    Ok(())
+}
+
+/// Executes a case across the fleet.  `Ok` means every check of every
+/// round passed; `Err` carries the first divergence.
+pub fn run_case(case: &FuzzCase, fault: Fault) -> Result<RunReport, Divergence> {
+    let mut fleet = Fleet::build(case, fault);
+    let mut report = RunReport::default();
+    let round_len = case.round.max(1);
+
+    for (round, chunk) in case.script.chunks(round_len).enumerate() {
+        // Resolve participant indices against live state once per round,
+        // so this round's ops can address objects earlier rounds created.
+        let ops = resolve_workload(&fleet.sync1, chunk);
+        let base = report.ops_run;
+
+        let reference: Vec<OpResult> = ops.iter().map(|op| fleet.sync1.apply(op)).collect();
+        let batched = fleet.syncn.apply_batch(&ops);
+        if let Some(d) = result_divergence("sync/N", base, &ops, &reference, &batched) {
+            return Err(d);
+        }
+        let asynchronous = fleet.asynchronous.apply_batch(&ops);
+        if let Some(d) = result_divergence("async", base, &ops, &reference, &asynchronous) {
+            return Err(d);
+        }
+        let frozen: Vec<OpResult> = ops.iter().map(|op| fleet.frozen.apply(op)).collect();
+        if let Some(d) = result_divergence("frozen", base, &ops, &reference, &frozen) {
+            return Err(d);
+        }
+        for (i, (op, result)) in ops.iter().zip(&reference).enumerate() {
+            fleet
+                .oracle
+                .check_apply(op, result)
+                .map_err(|e| Divergence {
+                    op_index: Some(base + i),
+                    kind: "oracle".to_string(),
+                    detail: e,
+                })?;
+        }
+        if let Some(lossy) = fleet.lossy.as_mut() {
+            check_lossy(lossy, base, &ops, &mut report)?;
+        }
+
+        report.ops_run += ops.len();
+        report.rounds = round + 1;
+        audit_fleet(&mut fleet, round, &mut report)?;
+    }
+    report.population = fleet.sync1.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{generate_case, FuzzSpec};
+
+    #[test]
+    fn smoke_cases_run_divergence_free() {
+        for seed in [1u64, 2] {
+            let case = generate_case(&FuzzSpec {
+                warmup: 16,
+                ops: 96,
+                ..FuzzSpec::smoke(seed)
+            });
+            let report = run_case(&case, Fault::None)
+                .unwrap_or_else(|d| panic!("seed {seed}: unexpected divergence {d}"));
+            assert!(report.ops_run > 0);
+            assert!(report.population >= 2);
+            assert!(report.invariants_checked > 0, "audits must not be vacuous");
+        }
+    }
+
+    #[test]
+    fn the_planted_fault_is_detected() {
+        let case = generate_case(&FuzzSpec {
+            warmup: 12,
+            ops: 64,
+            lossy: false,
+            ..FuzzSpec::smoke(11)
+        });
+        let d = run_case(&case, Fault::FrozenRouteExtraHop)
+            .expect_err("a wrong hop count must be caught");
+        assert_eq!(d.kind, "result:frozen", "{d}");
+        assert!(d.op_index.is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! # voronet-testkit
+//!
+//! The differential oracle testkit: model-based fuzzing of every VoroNet
+//! execution engine, with shrinking, replayable reproducers.
+//!
+//! The workspace carries four implementations of the same protocol
+//! semantics — the live [`VoroNet`](voronet_core::VoroNet) walk, the
+//! [`FrozenView`](voronet_core::FrozenView) CSR snapshot, the threaded
+//! `SyncEngine::apply_batch` read path and the message-driven
+//! [`AsyncOverlay`](voronet_core::runtime::AsyncOverlay) runtime.  This
+//! crate pins them to each other and to a naive O(n²) reference model:
+//!
+//! * [`oracle`] — the brute-force [`oracle::OracleModel`]
+//!   that predicts every op result from first principles;
+//! * [`grammar`] — seeded generation of [`grammar::FuzzCase`]s
+//!   from a weighted op grammar (built on
+//!   [`OpMix`](voronet_workloads::OpMix)), including network-event
+//!   profiles (loss, latency shifts, partition windows);
+//! * [`harness`] — [`harness::run_case`], the five-way
+//!   differential executor;
+//! * [`frozen`] — the frozen-snapshot execution plus deliberate
+//!   [`frozen::Fault`] injection for self-testing the checker;
+//! * [`shrink`] — ddmin-style script minimisation of diverging cases;
+//! * [`repro`] — `.ron`-style reproducer files under
+//!   `tests/reproducers/`, written on divergence and replayed by CI;
+//! * [`prop`] — the seeded property-check harness (with input
+//!   shrinking) behind the workspace's property tests.
+//!
+//! The `fuzz` binary (`cargo run -p voronet-testkit --bin fuzz`) drives
+//! all of it from the command line; `VORONET_SMOKE=1` selects the
+//! CI-sized budget.
+
+#![warn(missing_docs)]
+
+pub mod frozen;
+pub mod grammar;
+pub mod harness;
+pub mod oracle;
+pub mod prop;
+pub mod repro;
+pub mod shrink;
+
+pub use frozen::{Fault, FrozenReplay};
+pub use grammar::{generate_case, FuzzCase, FuzzSpec, NetProfile};
+pub use harness::{run_case, Divergence, RunReport};
+pub use oracle::OracleModel;
+pub use prop::{check_cases, ShrinkInput};
+pub use repro::{
+    encode_case, list_reproducers, parse_case, read_reproducer, write_reproducer, ReproError,
+};
+pub use shrink::{shrink_case, ShrinkOutcome};

@@ -1,0 +1,610 @@
+//! The naive O(n²) reference model every engine is checked against.
+//!
+//! The oracle keeps nothing but the ground truth an overlay cannot get
+//! wrong without being broken: the set of live objects and their
+//! coordinates, plus the monotonically assigned id counter (see
+//! [`VoroNet::next_object_id`](voronet_core::VoroNet::next_object_id)).
+//! From that it predicts, by brute force, what every [`Op`] must produce:
+//!
+//! * insert outcomes (assigned id, or the exact failure kind, in the
+//!   engine's own check order: non-finite, outside domain, duplicate);
+//! * route owners (the nearest live object to the target — linear scan);
+//! * range/radius matches (exhaustive predicate filtering, sorted by id)
+//!   and the flood-accounting invariant `visited == flood_messages + 1`;
+//! * structural facts: greedy hop counts bounded by the population, and —
+//!   for small populations — that every interior brute-force Delaunay
+//!   edge appears in the engine's Voronoi neighbour sets and that a
+//!   linear-scan greedy walk over those brute-force neighbourhoods
+//!   terminates at the owner (the paper's Theorem 1 property).
+//!
+//! Engines additionally have to agree with *each other* bit for bit; that
+//! cross-checking lives in [`crate::harness`].  The oracle's job is to
+//! anchor the agreement to an independent, obviously-correct model.
+
+use voronet_api::{Op, OpResult};
+use voronet_core::{ErrorKind, ObjectId, VoroNetConfig};
+use voronet_geom::hull::{convex_hull, delaunay_edges_bruteforce};
+use voronet_geom::{Point2, Rect};
+
+/// The brute-force reference model of one overlay.
+#[derive(Debug, Clone)]
+pub struct OracleModel {
+    next_id: u64,
+    /// Live objects in insertion order (the oracle never needs the
+    /// engines' dense order — set equality is checked at audit points).
+    live: Vec<(ObjectId, Point2)>,
+    domain: Rect,
+}
+
+impl OracleModel {
+    /// Creates the model of a fresh overlay built from `config`.
+    pub fn new(config: &VoroNetConfig) -> Self {
+        OracleModel {
+            next_id: 0,
+            live: Vec::new(),
+            domain: config.domain,
+        }
+    }
+
+    /// Number of live objects in the model.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when the model holds no object.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Coordinates of a live object.
+    pub fn coords(&self, id: ObjectId) -> Option<Point2> {
+        self.live.iter().find(|&&(o, _)| o == id).map(|&(_, p)| p)
+    }
+
+    /// True when `id` is live in the model.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.coords(id).is_some()
+    }
+
+    /// The live objects, sorted by id (for set comparisons).
+    pub fn sorted_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.live.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The nearest live object to `p` by squared Euclidean distance
+    /// (linear scan).  Ties return the first-inserted minimiser; callers
+    /// that must be tie-robust compare distances instead of ids.
+    pub fn nearest(&self, p: Point2) -> Option<ObjectId> {
+        self.live
+            .iter()
+            .min_by(|a, b| {
+                a.1.distance2(p)
+                    .partial_cmp(&b.1.distance2(p))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|&(id, _)| id)
+    }
+
+    fn min_distance2(&self, p: Point2) -> Option<f64> {
+        self.live
+            .iter()
+            .map(|&(_, q)| q.distance2(p))
+            .fold(None, |acc, d| {
+                Some(match acc {
+                    None => d,
+                    Some(a) if d < a => d,
+                    Some(a) => a,
+                })
+            })
+    }
+
+    /// Checks one engine `result` against the model's prediction for
+    /// `op`, then applies the operation to the model.  Returns the
+    /// divergence diagnostic on mismatch; the model is only mutated by
+    /// results it accepted.
+    pub fn check_apply(&mut self, op: &Op, result: &OpResult) -> Result<(), String> {
+        match *op {
+            Op::Insert { position } => self.check_insert(position, result),
+            Op::Remove { id } => self.check_remove(id, result),
+            Op::Route { from, target } => self.check_route(from, target, None, result),
+            Op::RouteBetween { from, to } => {
+                let target = self.coords(to);
+                match target {
+                    None => expect_failure(result, &ErrorKind::UnknownObject(to), "route_between"),
+                    Some(target) => self.check_route(from, target, Some(to), result),
+                }
+            }
+            Op::Range { from, query } => {
+                self.check_area(from, result, "range", |p| query.rect.contains(p))
+            }
+            Op::Radius { from, query } => self.check_area(from, result, "radius", |p| {
+                p.distance2(query.center) <= query.radius * query.radius
+            }),
+            Op::Snapshot { id } => self.check_snapshot(id, result),
+        }
+    }
+
+    fn check_insert(&mut self, position: Point2, result: &OpResult) -> Result<(), String> {
+        // The engine's own check order: finiteness, domain, duplication.
+        if !position.is_finite() {
+            return expect_failure(result, &ErrorKind::NotFinite, "insert");
+        }
+        if !self.domain.contains(position) {
+            return expect_failure(result, &ErrorKind::OutsideDomain, "insert");
+        }
+        if let Some(&(existing, _)) = self
+            .live
+            .iter()
+            .find(|&&(_, p)| p.x == position.x && p.y == position.y)
+        {
+            return expect_failure(result, &ErrorKind::DuplicatePosition(existing), "insert");
+        }
+        let OpResult::Inserted(outcome) = result else {
+            return Err(format!(
+                "insert of {position} must succeed, engine returned {result:?}"
+            ));
+        };
+        if outcome.id != ObjectId(self.next_id) {
+            return Err(format!(
+                "insert assigned {}, oracle expected the monotonic id {}",
+                outcome.id, self.next_id
+            ));
+        }
+        self.live.push((outcome.id, position));
+        self.next_id += 1;
+        Ok(())
+    }
+
+    fn check_remove(&mut self, id: ObjectId, result: &OpResult) -> Result<(), String> {
+        if !self.contains(id) {
+            return expect_failure(result, &ErrorKind::UnknownObject(id), "remove");
+        }
+        let OpResult::Removed(outcome) = result else {
+            return Err(format!(
+                "remove of live {id} must succeed, engine returned {result:?}"
+            ));
+        };
+        if outcome.id != id {
+            return Err(format!(
+                "remove of {id} reported departure of {}",
+                outcome.id
+            ));
+        }
+        self.live.retain(|&(o, _)| o != id);
+        Ok(())
+    }
+
+    fn check_route(
+        &self,
+        from: ObjectId,
+        target: Point2,
+        to: Option<ObjectId>,
+        result: &OpResult,
+    ) -> Result<(), String> {
+        if !self.contains(from) {
+            return expect_failure(result, &ErrorKind::UnknownObject(from), "route");
+        }
+        let OpResult::Routed(outcome) = result else {
+            return Err(format!(
+                "route from live {from} must succeed, engine returned {result:?}"
+            ));
+        };
+        // The owner of the target's region is its nearest live object.
+        // Compare by distance, not id, so exact ties stay legal.
+        let min_d2 = self.min_distance2(target).expect("model is non-empty");
+        let owner_d2 = self
+            .coords(outcome.owner)
+            .ok_or_else(|| format!("route terminated at dead object {}", outcome.owner))?
+            .distance2(target);
+        if owner_d2 > min_d2 {
+            return Err(format!(
+                "route to {target} terminated at {} (d²={owner_d2:.3e}) but a live object \
+                 is closer (d²={min_d2:.3e})",
+                outcome.owner
+            ));
+        }
+        if let Some(to) = to {
+            // A route towards an existing object's exact coordinates must
+            // terminate at that object (positions are unique).
+            if outcome.owner != to {
+                return Err(format!(
+                    "route towards {to} terminated at {} instead",
+                    outcome.owner
+                ));
+            }
+        }
+        // Greedy strictly improves the distance every hop, so a walk can
+        // never revisit an object: hops is bounded by the population.
+        let hops_max = self.len().saturating_sub(1) as u32;
+        if outcome.hops > hops_max {
+            return Err(format!(
+                "route took {} hops over a population of {} (greedy visits each object at most once)",
+                outcome.hops,
+                self.len()
+            ));
+        }
+        if outcome.owner == from && outcome.hops != 0 {
+            return Err(format!(
+                "self-terminating route reported {} hops, expected 0",
+                outcome.hops
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_area(
+        &self,
+        from: ObjectId,
+        result: &OpResult,
+        what: &str,
+        matches: impl Fn(Point2) -> bool,
+    ) -> Result<(), String> {
+        if !self.contains(from) {
+            return expect_failure(result, &ErrorKind::UnknownObject(from), what);
+        }
+        let OpResult::Queried(outcome) = result else {
+            return Err(format!(
+                "{what} query from live {from} must succeed, engine returned {result:?}"
+            ));
+        };
+        let expected: Vec<ObjectId> = {
+            let mut v: Vec<ObjectId> = self
+                .live
+                .iter()
+                .filter(|&&(_, p)| matches(p))
+                .map(|&(id, _)| id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        if outcome.matches != expected {
+            return Err(format!(
+                "{what} query matches diverge from the exhaustive scan: engine {:?}, oracle {:?}",
+                outcome.matches, expected
+            ));
+        }
+        if outcome.visited < outcome.matches.len().max(1) || outcome.visited > self.len() {
+            return Err(format!(
+                "{what} query visited {} objects (matches {}, population {})",
+                outcome.visited,
+                outcome.matches.len(),
+                self.len()
+            ));
+        }
+        // Every flood message discovers exactly one new object beyond the
+        // routed-to owner.
+        if outcome.flood_messages != (outcome.visited as u64).saturating_sub(1) {
+            return Err(format!(
+                "{what} query flood accounting broken: visited {} but {} flood messages \
+                 (must be visited - 1)",
+                outcome.visited, outcome.flood_messages
+            ));
+        }
+        if outcome.routing_hops > self.len().saturating_sub(1) as u32 {
+            return Err(format!(
+                "{what} query routed {} hops over a population of {}",
+                outcome.routing_hops,
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_snapshot(&self, id: ObjectId, result: &OpResult) -> Result<(), String> {
+        if !self.contains(id) {
+            return expect_failure(result, &ErrorKind::UnknownObject(id), "snapshot");
+        }
+        let OpResult::Snapshotted(view) = result else {
+            return Err(format!(
+                "snapshot of live {id} must succeed, engine returned {result:?}"
+            ));
+        };
+        if view.id != id {
+            return Err(format!("snapshot of {id} described object {}", view.id));
+        }
+        if view.coords != self.coords(id).expect("checked live") {
+            return Err(format!(
+                "snapshot of {id} carries coordinates {} but the oracle recorded {}",
+                view.coords,
+                self.coords(id).expect("checked live")
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compares the model's live set against an engine's population
+    /// (`ids` in any order, `coords` the engine's lookup).
+    pub fn check_population(
+        &self,
+        engine: &str,
+        ids: &[ObjectId],
+        coords: impl Fn(ObjectId) -> Option<Point2>,
+    ) -> Result<(), String> {
+        let mut engine_ids = ids.to_vec();
+        engine_ids.sort_unstable();
+        if engine_ids != self.sorted_ids() {
+            return Err(format!(
+                "{engine} population diverges from the oracle: engine {engine_ids:?}, \
+                 oracle {:?}",
+                self.sorted_ids()
+            ));
+        }
+        for &(id, p) in &self.live {
+            match coords(id) {
+                Some(q) if q == p => {}
+                other => {
+                    return Err(format!(
+                        "{engine} coordinates of {id} diverge: engine {other:?}, oracle {p}"
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Brute-force structural audit for small populations: every interior
+    /// *strictly* Delaunay edge of the live point set (a circumcircle
+    /// exists with every other point strictly outside) must appear in the
+    /// engine's Voronoi neighbour relation, and a linear-scan greedy walk
+    /// over the brute-force neighbourhoods must terminate at the nearest
+    /// object.  Hull edges are skipped — the engine triangulates inside a
+    /// sentinel box, so its hull differs legitimately — and so are
+    /// co-circular ties, where several triangulations are equally valid
+    /// and the engine is free to keep either diagonal.  Fully collinear
+    /// populations (which real fuzz runs do produce: jittered-grid points
+    /// clamp onto the domain edge) degenerate to a path along the line,
+    /// which is exactly the adjacency the walk uses then.
+    pub fn delaunay_reference_check(
+        &self,
+        neighbours_of: impl Fn(ObjectId) -> Vec<ObjectId>,
+        walk_targets: &[Point2],
+    ) -> Result<(), String> {
+        if self.len() < 4 {
+            return Ok(());
+        }
+        let points: Vec<Point2> = self.live.iter().map(|&(_, p)| p).collect();
+        let ids: Vec<ObjectId> = self.live.iter().map(|&(id, _)| id).collect();
+        let hull = convex_hull(&points);
+        // A point *on the hull boundary* — a hull vertex or collinear with
+        // a hull edge (clamped jittered-grid points line whole segments up
+        // on the domain edge) — gets the sentinel-box exemption: the
+        // engine's triangulation legitimately differs there.
+        let on_hull = |p: Point2| {
+            use voronet_geom::{orient2d, Orientation};
+            let n = hull.len();
+            if n < 3 {
+                return true;
+            }
+            (0..n).any(|i| {
+                let (a, b) = (hull[i], hull[(i + 1) % n]);
+                orient2d(a, b, p) == Orientation::Zero
+                    && p.x >= a.x.min(b.x)
+                    && p.x <= a.x.max(b.x)
+                    && p.y >= a.y.min(b.y)
+                    && p.y <= a.y.max(b.y)
+            })
+        };
+        let edges = delaunay_edges_bruteforce(&points);
+
+        // Interior, strictly Delaunay edges are Voronoi neighbours.  The
+        // non-strict test above treats exactly co-circular points as
+        // "empty", so it claims *both* diagonals of a co-circular quad;
+        // only edges with a strictly empty circumcircle are present in
+        // every valid triangulation and may be demanded of the engine.
+        // The engine triangulates the points *plus* its four sentinel-box
+        // corners, so the witness circumcircle must exclude the sentinels
+        // too — near-collinear interior triples (clamped grid points in a
+        // thin strip) otherwise certify with a circle so large it swallows
+        // the box.
+        let sentinel_tri = voronet_geom::Triangulation::new(self.domain);
+        let sentinels: Vec<Point2> = (0..voronet_geom::triangulation::SENTINEL_COUNT)
+            .map(|v| sentinel_tri.point(v))
+            .collect();
+        for &(i, j) in &edges {
+            if on_hull(points[i]) || on_hull(points[j]) {
+                continue;
+            }
+            if !strictly_delaunay(&points, &sentinels, i, j) {
+                continue;
+            }
+            let ni = neighbours_of(ids[i]);
+            if !ni.contains(&ids[j]) {
+                return Err(format!(
+                    "brute-force Delaunay edge {} ↔ {} (interior, strictly empty circumcircle) \
+                     missing from the engine's Voronoi neighbours of {} ({ni:?})",
+                    ids[i], ids[j], ids[i]
+                ));
+            }
+        }
+
+        // Linear-scan greedy walks over the brute-force neighbourhoods
+        // reach the nearest object (Theorem 1 of the paper).  The
+        // non-strict edge set is a superset of a valid Delaunay
+        // triangulation, so greedy can never stall early on it — except
+        // when every point is collinear and no triangle exists at all;
+        // there the triangulation degenerates to the sorted path.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); points.len()];
+        if edges.is_empty() {
+            let mut order: Vec<usize> = (0..points.len()).collect();
+            order.sort_by(|&a, &b| points[a].lex_cmp(&points[b]));
+            for w in order.windows(2) {
+                adj[w[0]].push(w[1]);
+                adj[w[1]].push(w[0]);
+            }
+        }
+        for &(i, j) in &edges {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        for (t, &target) in walk_targets.iter().enumerate() {
+            let start = t % points.len();
+            let mut cur = start;
+            let mut cur_d = points[cur].distance2(target);
+            let mut hops = 0u32;
+            while let Some((best, best_d)) = adj[cur]
+                .iter()
+                .map(|&n| (n, points[n].distance2(target)))
+                .filter(|&(_, d)| d < cur_d)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                cur = best;
+                cur_d = best_d;
+                hops += 1;
+                if hops as usize > points.len() {
+                    return Err(format!(
+                        "brute-force greedy walk towards {target} did not terminate \
+                         within {} hops",
+                        points.len()
+                    ));
+                }
+            }
+            let min_d2 = self.min_distance2(target).expect("non-empty");
+            if cur_d > min_d2 {
+                return Err(format!(
+                    "brute-force greedy walk from {} towards {target} stalled at {} \
+                     (d²={cur_d:.3e}) although an object at d²={min_d2:.3e} exists — \
+                     local minimum in the Delaunay greedy walk",
+                    ids[start], ids[cur]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True when some circumcircle through `a` and `b` keeps every other
+/// point — **including the engine's sentinel-box corners** — *strictly*
+/// outside.  The edge then belongs to every valid Delaunay triangulation
+/// of points ∪ sentinels (the set the engine actually triangulates), not
+/// merely to one of the tied alternatives a co-circular configuration
+/// admits.
+fn strictly_delaunay(points: &[Point2], sentinels: &[Point2], a: usize, b: usize) -> bool {
+    use voronet_geom::{incircle, orient2d, Orientation};
+    let (pa, pb) = (points[a], points[b]);
+    'candidates: for c in 0..points.len() {
+        if c == a || c == b {
+            continue;
+        }
+        let pc = points[c];
+        let orientation = orient2d(pa, pb, pc);
+        if orientation == Orientation::Zero {
+            continue;
+        }
+        let (x, y, z) = if orientation == Orientation::Positive {
+            (pa, pb, pc)
+        } else {
+            (pa, pc, pb)
+        };
+        for (d, &pd) in points.iter().enumerate() {
+            if d == a || d == b || d == c {
+                continue;
+            }
+            if incircle(x, y, z, pd) != Orientation::Negative {
+                continue 'candidates;
+            }
+        }
+        for &pd in sentinels {
+            if incircle(x, y, z, pd) != Orientation::Negative {
+                continue 'candidates;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn expect_failure(result: &OpResult, kind: &ErrorKind, what: &str) -> Result<(), String> {
+    match result {
+        OpResult::Failed(e) if e.kind() == kind => Ok(()),
+        other => Err(format!(
+            "{what} must fail with {kind:?}, engine returned {other:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voronet_api::{Op, Overlay, OverlayBuilder};
+
+    #[test]
+    fn oracle_tracks_a_real_engine_op_for_op() {
+        let mut engine = OverlayBuilder::new(200).seed(5).build_sync();
+        let mut oracle = OracleModel::new(&engine.config().clone());
+        let mut points =
+            voronet_workloads::PointGenerator::new(voronet_workloads::Distribution::Uniform, 5);
+        let mut ops: Vec<Op> = (0..40)
+            .map(|_| Op::Insert {
+                position: points.next_point(),
+            })
+            .collect();
+        ops.push(Op::Route {
+            from: ObjectId(0),
+            target: Point2::new(0.5, 0.5),
+        });
+        ops.push(Op::RouteBetween {
+            from: ObjectId(1),
+            to: ObjectId(2),
+        });
+        ops.push(Op::Remove { id: ObjectId(3) });
+        ops.push(Op::Snapshot { id: ObjectId(4) });
+        for op in &ops {
+            let result = engine.apply(op);
+            oracle.check_apply(op, &result).unwrap();
+        }
+        assert_eq!(oracle.len(), engine.len());
+        oracle
+            .check_population("sync", &engine.ids(), |id| engine.coords(id))
+            .unwrap();
+    }
+
+    #[test]
+    fn oracle_rejects_wrong_outcomes() {
+        let mut oracle = OracleModel::new(&VoroNetConfig::new(10));
+        let insert = Op::Insert {
+            position: Point2::new(0.5, 0.5),
+        };
+        // Wrong id.
+        let bogus = OpResult::Inserted(voronet_api::InsertOutcome { id: ObjectId(7) });
+        assert!(oracle.check_apply(&insert, &bogus).is_err());
+        // Correct id applies.
+        let ok = OpResult::Inserted(voronet_api::InsertOutcome { id: ObjectId(0) });
+        oracle.check_apply(&insert, &ok).unwrap();
+        // Duplicate must fail with the existing id.
+        let dup = OpResult::Inserted(voronet_api::InsertOutcome { id: ObjectId(1) });
+        assert!(oracle.check_apply(&insert, &dup).is_err());
+        // A wrong hop count on a self-route is caught.
+        let self_route = Op::RouteBetween {
+            from: ObjectId(0),
+            to: ObjectId(0),
+        };
+        let wrong = OpResult::Routed(voronet_api::RouteOutcome {
+            owner: ObjectId(0),
+            hops: 1,
+        });
+        assert!(oracle.check_apply(&self_route, &wrong).is_err());
+    }
+
+    #[test]
+    fn delaunay_reference_check_matches_a_healthy_engine() {
+        let mut engine = OverlayBuilder::new(100).seed(9).build_sync();
+        let mut oracle = OracleModel::new(&engine.config().clone());
+        let mut points =
+            voronet_workloads::PointGenerator::new(voronet_workloads::Distribution::Uniform, 9);
+        for _ in 0..30 {
+            let op = Op::Insert {
+                position: points.next_point(),
+            };
+            let r = engine.apply(&op);
+            oracle.check_apply(&op, &r).unwrap();
+        }
+        let targets: Vec<Point2> = (0..8)
+            .map(|i| Point2::new(0.1 + 0.1 * f64::from(i), 0.9 - 0.1 * f64::from(i)))
+            .collect();
+        oracle
+            .delaunay_reference_check(|id| engine.net().voronoi_neighbours(id).unwrap(), &targets)
+            .unwrap();
+    }
+}

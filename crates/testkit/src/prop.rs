@@ -1,0 +1,280 @@
+//! Seeded property checking with input shrinking — the light-weight
+//! harness behind the workspace's hand-rolled property tests.
+//!
+//! [`check_cases`] replaces the bare `for case in 0..N { … }` loops: it
+//! derives one RNG per case from a base seed, runs the property (a
+//! closure returning `Err(diagnostic)` on failure — see
+//! [`tk_ensure!`](crate::tk_ensure)),
+//! and on failure greedily shrinks the generated input before panicking
+//! with the **seed, case number, shrunk input and diagnostic** — so every
+//! failure is reproducible and minimal by construction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Inputs the harness knows how to shrink.  `candidates` returns reduced
+/// variants to try, most aggressive first; shrinking greedily walks to
+/// the first still-failing candidate until a fixpoint.
+pub trait ShrinkInput: Clone {
+    /// Reduced variants of `self`, most aggressive first.
+    fn candidates(&self) -> Vec<Self>;
+}
+
+impl<T: Clone> ShrinkInput for Vec<T> {
+    fn candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Drop halves, then quarters, then single elements.
+        let mut window = (n / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < n {
+                let end = (start + window).min(n);
+                let mut candidate = self.clone();
+                candidate.drain(start..end);
+                out.push(candidate);
+                start = end;
+            }
+            if window == 1 {
+                break;
+            }
+            window = (window / 2).max(1);
+        }
+        out
+    }
+}
+
+/// Pairs shrink their first component and carry the second along (e.g. a
+/// point set plus a fixed query point).
+impl<A: ShrinkInput, B: Clone> ShrinkInput for (A, B) {
+    fn candidates(&self) -> Vec<Self> {
+        self.0
+            .candidates()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect()
+    }
+}
+
+fn shrink<T: ShrinkInput>(
+    input: T,
+    message: String,
+    test: impl Fn(&T) -> Result<(), String>,
+    budget: usize,
+) -> (T, String, usize) {
+    let mut current = input;
+    let mut current_msg = message;
+    let mut spent = 0usize;
+    loop {
+        let mut reduced = false;
+        for candidate in current.candidates() {
+            if spent >= budget {
+                return (current, current_msg, spent);
+            }
+            spent += 1;
+            if let Err(msg) = run_property(&test, &candidate) {
+                current = candidate;
+                current_msg = msg;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return (current, current_msg, spent);
+        }
+    }
+}
+
+/// Runs the property once, converting a panic inside it into an ordinary
+/// failure diagnostic — so `.unwrap()`s and `assert!`s in property code
+/// still get seed/case context attached and still shrink, instead of
+/// unwinding straight past the harness.
+fn run_property<T>(test: &impl Fn(&T) -> Result<(), String>, input: &T) -> Result<(), String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(input))) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("property panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("property panicked: {s}")
+        } else {
+            "property panicked with a non-string payload".to_string()
+        }),
+    }
+}
+
+/// Runs `cases` seeded cases of a property.  Each case derives its RNG
+/// from `base_seed + case`; on failure — a returned `Err` *or* a panic
+/// inside the property — the input is shrunk (up to 512 property
+/// re-runs) and the final panic message carries the seed, the case
+/// number, the shrunk input and the diagnostic.
+pub fn check_cases<T, G, F>(name: &str, cases: u64, base_seed: u64, mut generate: G, test: F)
+where
+    T: ShrinkInput + std::fmt::Debug,
+    G: FnMut(&mut StdRng) -> T,
+    F: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cases {
+        let seed = base_seed.wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = generate(&mut rng);
+        if let Err(message) = run_property(&test, &input) {
+            let (min_input, min_message, steps) = shrink(input, message, &test, 512);
+            panic!(
+                "property `{name}` failed at seed {seed} (case {case} of {cases}, base seed \
+                 {base_seed}):\n  {min_message}\n  shrunk input after {steps} shrink runs: \
+                 {min_input:?}\n  replay: StdRng::seed_from_u64({seed})"
+            );
+        }
+    }
+}
+
+/// `tk_ensure!(cond, "format", args…)` — the property-test analogue of
+/// `assert!`: returns `Err(formatted)` from the enclosing
+/// `Result<(), String>` closure instead of panicking, so
+/// [`check_cases`] can shrink the input before reporting.
+#[macro_export]
+macro_rules! tk_ensure {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// `tk_ensure_eq!(a, b, "context", args…)` — equality form of
+/// [`tk_ensure!`](crate::tk_ensure), printing both sides on failure.
+#[macro_export]
+macro_rules! tk_ensure_eq {
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}: left {:?} != right {:?}",
+                format!($($arg)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_properties_run_all_cases() {
+        let ran = std::cell::Cell::new(0u64);
+        check_cases(
+            "always-passes",
+            16,
+            7,
+            |rng| {
+                use rand::RngExt;
+                (0..rng.random_range(1..10usize))
+                    .map(|_| rng.random::<u32>())
+                    .collect::<Vec<u32>>()
+            },
+            |_| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(ran.get(), 16);
+    }
+
+    #[test]
+    fn failures_shrink_to_the_minimal_witness() {
+        // Property: "no vector contains a multiple of 97".  The witness
+        // must shrink to exactly one offending element.
+        let result = std::panic::catch_unwind(|| {
+            check_cases(
+                "no-multiples-of-97",
+                64,
+                1,
+                |rng| {
+                    use rand::RngExt;
+                    (0..rng.random_range(5..40usize))
+                        .map(|_| rng.random_range(0..500u32))
+                        .collect::<Vec<u32>>()
+                },
+                |xs| {
+                    if let Some(x) = xs.iter().find(|&&x| x % 97 == 0) {
+                        return Err(format!("found {x}"));
+                    }
+                    Ok(())
+                },
+            )
+        });
+        let message = match result {
+            Ok(()) => panic!("a multiple of 97 must appear within 64 seeded cases"),
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic carries a String"),
+        };
+        assert!(message.contains("seed"), "{message}");
+        assert!(message.contains("shrunk input"), "{message}");
+        // The shrunk witness is a single-element vector.
+        let witness = message
+            .split("shrink runs: ")
+            .nth(1)
+            .and_then(|s| s.split('\n').next())
+            .expect("message names the witness");
+        let elements = witness.matches(',').count();
+        assert_eq!(
+            elements, 0,
+            "witness should shrink to one element, got {witness}"
+        );
+    }
+
+    #[test]
+    fn panics_inside_the_property_still_get_seed_context_and_shrink() {
+        let result = std::panic::catch_unwind(|| {
+            check_cases(
+                "no-multiples-of-101-via-panic",
+                64,
+                3,
+                |rng| {
+                    use rand::RngExt;
+                    (0..rng.random_range(5..40usize))
+                        .map(|_| rng.random_range(0..500u32))
+                        .collect::<Vec<u32>>()
+                },
+                |xs| {
+                    // A property written with a bare panic instead of Err.
+                    if let Some(x) = xs.iter().find(|&&x| x % 101 == 0) {
+                        panic!("found {x}");
+                    }
+                    Ok(())
+                },
+            )
+        });
+        let message = match result {
+            Ok(()) => panic!("a multiple of 101 must appear within 64 seeded cases"),
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("harness panic carries a String"),
+        };
+        assert!(message.contains("seed"), "{message}");
+        assert!(message.contains("property panicked: found"), "{message}");
+        assert!(message.contains("shrunk input"), "{message}");
+    }
+
+    #[test]
+    fn vec_candidates_cover_halves_and_single_elements() {
+        let v: Vec<u32> = (0..8).collect();
+        let cands = v.candidates();
+        assert!(cands.iter().any(|c| c.len() == 4), "halves");
+        assert!(
+            cands.iter().any(|c| c.len() == 7),
+            "single-element removals"
+        );
+        assert!(cands.iter().all(|c| c.len() < v.len()));
+        assert!(Vec::<u32>::new().candidates().is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Delta-debugging shrinker for diverging fuzz cases.
+//!
+//! Scripts are sequences of index-named
+//! [`WorkloadOp`](voronet_workloads::WorkloadOp)s, so *any*
+//! subsequence is still executable (participant indices are taken modulo
+//! the live population and resolution drops ops the state cannot
+//! support).  That makes classic ddmin applicable without repair logic:
+//! repeatedly try removing chunks of the script — halves first, then
+//! smaller windows, down to single ops — and keep every removal after
+//! which [`run_case`] still reports *a*
+//! divergence.  The reproducer keeps the final (usually much smaller)
+//! script plus the divergence it still triggers.
+
+use crate::frozen::Fault;
+use crate::grammar::FuzzCase;
+use crate::harness::{run_case, Divergence};
+
+/// The result of shrinking a diverging case.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimised case (still diverging).
+    pub case: FuzzCase,
+    /// The divergence the minimised case triggers.
+    pub divergence: Divergence,
+    /// Harness executions spent shrinking.
+    pub executions: usize,
+}
+
+/// Minimises `case` (known to diverge under `fault`) with at most
+/// `max_executions` re-runs of the harness.  The returned case always
+/// still diverges; if the budget runs out the partially shrunk case is
+/// returned.
+pub fn shrink_case(case: &FuzzCase, fault: Fault, max_executions: usize) -> ShrinkOutcome {
+    let mut divergence =
+        run_case(case, fault).expect_err("shrink_case requires a case that diverges");
+    let mut current = case.clone();
+    let mut executions = 1usize;
+
+    // Outer loop: sweep windows from half the current script down to
+    // single ops; once a whole sweep removes nothing, the script is
+    // 1-minimal with respect to chunk removal.
+    loop {
+        let before = current.script.len();
+        let mut window = (current.script.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < current.script.len() && executions < max_executions {
+                let end = (start + window).min(current.script.len());
+                let mut candidate = current.clone();
+                candidate.script.drain(start..end);
+                executions += 1;
+                match run_case(&candidate, fault) {
+                    Err(d) => {
+                        // The removal preserved a divergence: keep it and
+                        // stay at the same position (the next window slid
+                        // into it).
+                        current = candidate;
+                        divergence = d;
+                    }
+                    Ok(_) => start = end,
+                }
+            }
+            if window == 1 || executions >= max_executions {
+                break;
+            }
+            window = (window / 2).max(1);
+        }
+        if executions >= max_executions {
+            break;
+        }
+        if current.script.len() == before {
+            // Chunk removal reached a fixpoint.  Participant indices
+            // resolve once per round, so an op can depend on *where the
+            // round boundaries fall* (a route is only executable in a
+            // round after the inserts it needs) — shrinking the round
+            // size to 1 makes resolution per-op and unlocks further
+            // removals.
+            let mut reduced_round = false;
+            let mut r = current.round / 2;
+            while r >= 1 && executions < max_executions {
+                let mut candidate = current.clone();
+                candidate.round = r;
+                executions += 1;
+                if let Err(d) = run_case(&candidate, fault) {
+                    current = candidate;
+                    divergence = d;
+                    reduced_round = true;
+                    break;
+                }
+                r /= 2;
+            }
+            if !reduced_round {
+                break;
+            }
+        }
+    }
+
+    ShrinkOutcome {
+        case: current,
+        divergence,
+        executions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{generate_case, FuzzSpec};
+
+    /// The acceptance self-test: a wrong hop planted in the frozen
+    /// execution is caught by the differential checker and shrunk to a
+    /// reproducer of at most 20 ops.
+    #[test]
+    fn planted_frozen_fault_shrinks_to_a_tiny_reproducer() {
+        let case = generate_case(&FuzzSpec {
+            warmup: 16,
+            ops: 160,
+            lossy: false,
+            ..FuzzSpec::smoke(2027)
+        });
+        let outcome = shrink_case(&case, Fault::FrozenRouteExtraHop, 2_000);
+        assert!(
+            outcome.case.script.len() <= 20,
+            "shrunk script still has {} ops: {:?}",
+            outcome.case.script.len(),
+            outcome.case.script
+        );
+        assert!(outcome.case.script.len() >= 2, "needs at least two objects");
+        // The minimised case still reproduces the same class of bug.
+        let d = run_case(&outcome.case, Fault::FrozenRouteExtraHop)
+            .expect_err("minimised case must still diverge");
+        assert_eq!(d.kind, "result:frozen", "{d}");
+        // … and is clean without the fault.
+        run_case(&outcome.case, Fault::None)
+            .unwrap_or_else(|d| panic!("fault-free replay must be clean, got {d}"));
+    }
+}

@@ -51,6 +51,11 @@ pub enum WorkloadOp {
         /// The queried disk.
         query: RadiusQuery,
     },
+    /// Capture the complete view snapshot of the `index`-th live object.
+    Snapshot {
+        /// Dense population index of the inspected object.
+        index: usize,
+    },
 }
 
 /// Relative frequencies of the operation families in a generated batch.
@@ -68,6 +73,8 @@ pub struct OpMix {
     pub range: f64,
     /// Weight of [`WorkloadOp::Radius`].
     pub radius: f64,
+    /// Weight of [`WorkloadOp::Snapshot`].
+    pub snapshot: f64,
 }
 
 impl OpMix {
@@ -80,6 +87,7 @@ impl OpMix {
             route: 0.80,
             range: 0.025,
             radius: 0.025,
+            snapshot: 0.0,
         }
     }
 
@@ -91,6 +99,7 @@ impl OpMix {
             route: 0.40,
             range: 0.0,
             radius: 0.0,
+            snapshot: 0.0,
         }
     }
 
@@ -105,6 +114,7 @@ impl OpMix {
             route: 0.90,
             range: 0.05,
             radius: 0.05,
+            snapshot: 0.0,
         }
     }
 
@@ -116,11 +126,12 @@ impl OpMix {
             route: 1.0,
             range: 0.0,
             radius: 0.0,
+            snapshot: 0.0,
         }
     }
 
     fn total(&self) -> f64 {
-        self.insert + self.remove + self.route + self.range + self.radius
+        self.insert + self.remove + self.route + self.range + self.radius + self.snapshot
     }
 }
 
@@ -188,6 +199,7 @@ impl OpBatchGenerator {
                 let after_remove = after_insert + self.mix.remove;
                 let after_route = after_remove + self.mix.route;
                 let after_range = after_route + self.mix.range;
+                let after_radius = after_range + self.mix.radius;
                 if u < after_insert {
                     pop += 1;
                     WorkloadOp::Insert {
@@ -206,10 +218,14 @@ impl OpBatchGenerator {
                         from: self.rng.random_range(0..pop),
                         query: self.queries.range_query(self.max_query_extent),
                     }
-                } else {
+                } else if u < after_radius {
                     WorkloadOp::Radius {
                         from: self.rng.random_range(0..pop),
                         query: self.queries.radius_query(self.max_query_extent),
+                    }
+                } else {
+                    WorkloadOp::Snapshot {
+                        index: self.rng.random_range(0..pop),
                     }
                 }
             };
@@ -292,9 +308,30 @@ mod tests {
                 WorkloadOp::Range { from, .. } | WorkloadOp::Radius { from, .. } => {
                     assert!(from < pop);
                 }
+                WorkloadOp::Snapshot { index } => {
+                    assert!(index < pop);
+                }
             }
             assert!(pop >= 2, "mix must not script the population below 2");
         }
+    }
+
+    #[test]
+    fn snapshot_weight_scripts_snapshots() {
+        let mix = OpMix {
+            snapshot: 0.5,
+            ..OpMix::read_only()
+        };
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 17, mix);
+        let batch = g.batch(50, 400);
+        let snaps = batch
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Snapshot { .. }))
+            .count();
+        assert!(
+            (80..=220).contains(&snaps),
+            "snapshot weight ~36% of the mix, got {snaps}/400"
+        );
     }
 
     #[test]

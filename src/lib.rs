@@ -16,6 +16,7 @@
 //! | [`smallworld`] | Kleinberg grid baseline |
 //! | [`core`] | the VoroNet overlay itself, plus its message-driven execution |
 //! | [`api`] | the backend-agnostic [`Overlay`](api::Overlay) trait, batched ops, `OverlayBuilder`, unified errors |
+//! | `voronet-testkit` | differential oracle fuzzing of every engine, shrinking reproducers (dev-only, not re-exported) |
 //!
 //! Applications program against the [`api::Overlay`] trait and pick an
 //! engine (synchronous fast path or the message-driven runtime) with the

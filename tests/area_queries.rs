@@ -25,7 +25,7 @@ fn check_queries(dist: Distribution, seed: u64) {
         assert_eq!(
             got.matches,
             expected,
-            "{} range query #{trial} mismatch",
+            "{} range query #{trial} mismatch (seed {seed})",
             dist.label()
         );
 
@@ -40,7 +40,7 @@ fn check_queries(dist: Distribution, seed: u64) {
         assert_eq!(
             got.matches,
             expected,
-            "{} radius query #{trial} mismatch",
+            "{} radius query #{trial} mismatch (seed {seed})",
             dist.label()
         );
     }

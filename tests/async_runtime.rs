@@ -120,11 +120,18 @@ fn loss_free_routes_agree_with_the_synchronous_fast_path() {
             .measure_route(a, b)
             .expect("routes cannot be lost on a loss-free network");
         let sync = sync_net.route_between(a, b).unwrap();
-        assert_eq!(owner, sync.owner, "message-driven owner must match");
-        assert_eq!(owner, b, "routes towards an object end at that object");
+        assert_eq!(
+            owner, sync.owner,
+            "trial {measured} (pair seed 4242): message-driven owner must match for {a} → {b}"
+        );
+        assert_eq!(
+            owner, b,
+            "trial {measured} (pair seed 4242): routes towards an object end at that object"
+        );
         assert_eq!(
             hops, sync.hops,
-            "fresh local views take the same greedy steps"
+            "trial {measured} (pair seed 4242): fresh local views take the same greedy steps \
+             for {a} → {b}"
         );
     }
 }

@@ -1,0 +1,235 @@
+//! Area queries at the attribute-domain boundary, pinned to the
+//! brute-force oracle.
+//!
+//! The flood phase of `range_query_in`/`radius_query_in` walks Voronoi
+//! cells, and cells of boundary objects are clipped by the domain edge —
+//! historically the easiest place for an "intersects the query area"
+//! predicate to go wrong.  These tests build overlays whose population
+//! includes objects *exactly on* the domain edges and corners, issue
+//! queries flush with / crossing / degenerate at the boundary, and check
+//! every result against exhaustive scans (directly and through the
+//! testkit's [`OracleModel`]), plus the `visited == flood_messages + 1`
+//! accounting invariant and the equality of the `&self` `_in` forms with
+//! their `&mut` wrappers.
+
+use voronet::prelude::*;
+use voronet_core::queries::{radius_query, radius_query_in, range_query, range_query_in};
+use voronet_testkit::OracleModel;
+use voronet_workloads::{RadiusQuery, RangeQuery};
+
+/// Interior lattice plus every domain edge and corner.
+fn boundary_population() -> Vec<Point2> {
+    let mut pts = Vec::new();
+    // Corners of the unit domain.
+    for &(x, y) in &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)] {
+        pts.push(Point2::new(x, y));
+    }
+    // Edge midpoints and quarter points (exactly on the boundary).
+    for i in 1..4 {
+        let t = f64::from(i) / 4.0;
+        pts.push(Point2::new(t, 0.0));
+        pts.push(Point2::new(t, 1.0));
+        pts.push(Point2::new(0.0, t));
+        pts.push(Point2::new(1.0, t));
+    }
+    // Interior jittered lattice.
+    for i in 0..5 {
+        for j in 0..5 {
+            pts.push(Point2::new(
+                0.1 + 0.2 * f64::from(i) + 0.013 * f64::from(j),
+                0.1 + 0.2 * f64::from(j) + 0.017 * f64::from(i),
+            ));
+        }
+    }
+    pts
+}
+
+fn build() -> (VoroNet, Vec<ObjectId>, OracleModel) {
+    let cfg = VoroNetConfig::new(100).with_seed(77);
+    let mut net = VoroNet::new(cfg);
+    let mut oracle = OracleModel::new(&cfg);
+    let mut ids = Vec::new();
+    for p in boundary_population() {
+        let r = net
+            .insert(p)
+            .unwrap_or_else(|e| panic!("boundary point {p} must insert: {e}"));
+        let result = voronet_api::OpResult::Inserted(voronet_api::InsertOutcome { id: r.id });
+        oracle
+            .check_apply(&voronet_api::Op::Insert { position: p }, &result)
+            .unwrap();
+        ids.push(r.id);
+    }
+    (net, ids, oracle)
+}
+
+fn brute_range(net: &VoroNet, ids: &[ObjectId], rect: Rect) -> Vec<ObjectId> {
+    let mut v: Vec<ObjectId> = ids
+        .iter()
+        .copied()
+        .filter(|&id| rect.contains(net.coords(id).unwrap()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn brute_radius(net: &VoroNet, ids: &[ObjectId], q: RadiusQuery) -> Vec<ObjectId> {
+    let mut v: Vec<ObjectId> = ids
+        .iter()
+        .copied()
+        .filter(|&id| net.coords(id).unwrap().distance2(q.center) <= q.radius * q.radius)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn boundary_rects() -> Vec<Rect> {
+    vec![
+        // The full domain: every object (including all boundary ones).
+        Rect::UNIT,
+        // Flush with each edge.
+        Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.25)),
+        Rect::new(Point2::new(0.0, 0.75), Point2::new(1.0, 1.0)),
+        Rect::new(Point2::new(0.0, 0.0), Point2::new(0.25, 1.0)),
+        Rect::new(Point2::new(0.75, 0.0), Point2::new(1.0, 1.0)),
+        // A corner cell.
+        Rect::new(Point2::new(0.0, 0.0), Point2::new(0.3, 0.3)),
+        // Degenerate: a zero-width segment along an edge …
+        Rect::new(Point2::new(0.0, 0.0), Point2::new(0.0, 1.0)),
+        // … and a zero-area rect exactly on an edge object.
+        Rect::new(Point2::new(0.5, 0.0), Point2::new(0.5, 0.0)),
+        // Off-centre strip touching both vertical edges.
+        Rect::new(Point2::new(0.0, 0.45), Point2::new(1.0, 0.55)),
+    ]
+}
+
+fn boundary_disks() -> Vec<RadiusQuery> {
+    let mut disks = vec![
+        // Centred on each corner, reaching far outside the domain.
+        RadiusQuery {
+            center: Point2::new(0.0, 0.0),
+            radius: 0.45,
+        },
+        RadiusQuery {
+            center: Point2::new(1.0, 1.0),
+            radius: 0.45,
+        },
+        // Centred on edge objects.
+        RadiusQuery {
+            center: Point2::new(0.5, 0.0),
+            radius: 0.3,
+        },
+        RadiusQuery {
+            center: Point2::new(1.0, 0.5),
+            radius: 0.3,
+        },
+        // Covering the whole domain.
+        RadiusQuery {
+            center: Point2::new(0.5, 0.5),
+            radius: 1.0,
+        },
+        // Zero radius exactly on an object.
+        RadiusQuery {
+            center: Point2::new(0.25, 0.0),
+            radius: 0.0,
+        },
+    ];
+    // Tiny disks straddling each edge midpoint.
+    for &(x, y) in &[(0.5, 0.0), (0.5, 1.0), (0.0, 0.5), (1.0, 0.5)] {
+        disks.push(RadiusQuery {
+            center: Point2::new(x, y),
+            radius: 0.1,
+        });
+    }
+    disks
+}
+
+#[test]
+fn range_queries_at_the_domain_edge_match_the_oracle() {
+    let (net, ids, mut oracle) = build();
+    let mut scratch = RouteScratch::new();
+    for (i, rect) in boundary_rects().into_iter().enumerate() {
+        let from = ids[i % ids.len()];
+        scratch.delta.clear();
+        let report = range_query_in(&net, from, RangeQuery { rect }, &mut scratch)
+            .unwrap_or_else(|e| panic!("rect {i} ({rect:?}): {e}"));
+        let expected = brute_range(&net, &ids, rect);
+        assert_eq!(
+            report.matches, expected,
+            "rect {i} ({rect:?}): flood missed/extra boundary objects"
+        );
+        assert_eq!(
+            report.flood_messages,
+            report.visited as u64 - 1,
+            "rect {i}: flood accounting"
+        );
+        // The oracle agrees, via the API-level result shape.
+        oracle
+            .check_apply(
+                &voronet_api::Op::Range {
+                    from,
+                    query: RangeQuery { rect },
+                },
+                &voronet_api::OpResult::Queried(report.clone().into()),
+            )
+            .unwrap_or_else(|e| panic!("rect {i}: {e}"));
+    }
+}
+
+#[test]
+fn radius_queries_at_the_domain_edge_match_the_oracle() {
+    let (net, ids, mut oracle) = build();
+    let mut scratch = RouteScratch::new();
+    for (i, disk) in boundary_disks().into_iter().enumerate() {
+        let from = ids[(i * 3) % ids.len()];
+        scratch.delta.clear();
+        let report = radius_query_in(&net, from, disk, &mut scratch)
+            .unwrap_or_else(|e| panic!("disk {i} ({disk:?}): {e}"));
+        let expected = brute_radius(&net, &ids, disk);
+        assert_eq!(
+            report.matches, expected,
+            "disk {i} ({disk:?}): flood missed/extra boundary objects"
+        );
+        assert_eq!(
+            report.flood_messages,
+            report.visited as u64 - 1,
+            "disk {i}: flood accounting"
+        );
+        oracle
+            .check_apply(
+                &voronet_api::Op::Radius { from, query: disk },
+                &voronet_api::OpResult::Queried(report.clone().into()),
+            )
+            .unwrap_or_else(|e| panic!("disk {i}: {e}"));
+    }
+}
+
+/// The `&self` `_in` forms and their `&mut` wrappers return identical
+/// reports and identical traffic at the boundary.
+#[test]
+fn in_forms_match_their_mut_wrappers_at_the_boundary() {
+    let (net, ids, _) = build();
+    for rect in boundary_rects() {
+        let mut wrapped = net.clone();
+        let mut split = net.clone();
+        let a = range_query(&mut wrapped, ids[0], RangeQuery { rect }).unwrap();
+        let mut scratch = RouteScratch::new();
+        let b = range_query_in(&split, ids[0], RangeQuery { rect }, &mut scratch).unwrap();
+        split.apply_traffic(&scratch.delta);
+        assert_eq!(a.matches, b.matches, "rect {rect:?}");
+        assert_eq!(a.visited, b.visited, "rect {rect:?}");
+        assert_eq!(a.flood_messages, b.flood_messages, "rect {rect:?}");
+        assert_eq!(wrapped.traffic(), split.traffic(), "rect {rect:?}");
+    }
+    for disk in boundary_disks() {
+        let mut wrapped = net.clone();
+        let mut split = net.clone();
+        let a = radius_query(&mut wrapped, ids[1], disk).unwrap();
+        let mut scratch = RouteScratch::new();
+        let b = radius_query_in(&split, ids[1], disk, &mut scratch).unwrap();
+        split.apply_traffic(&scratch.delta);
+        assert_eq!(a.matches, b.matches, "disk {disk:?}");
+        assert_eq!(a.visited, b.visited, "disk {disk:?}");
+        assert_eq!(a.flood_messages, b.flood_messages, "disk {disk:?}");
+        assert_eq!(wrapped.traffic(), split.traffic(), "disk {disk:?}");
+    }
+}

@@ -22,17 +22,27 @@ fn churn_with(dist: Distribution, seed: u64) {
         } else {
             let idx = rng.random_range(0..live.len());
             let id = live.swap_remove(idx);
-            net.remove(id).unwrap();
+            net.remove(id).unwrap_or_else(|e| {
+                panic!(
+                    "{} seed {seed} step {step}: removing {id}: {e}",
+                    dist.label()
+                )
+            });
         }
         if step % 200 == 199 {
             net.check_invariants(true)
-                .unwrap_or_else(|e| panic!("{} churn step {step}: {e}", dist.label()));
+                .unwrap_or_else(|e| panic!("{} seed {seed} churn step {step}: {e}", dist.label()));
             net.triangulation()
                 .validate()
-                .unwrap_or_else(|e| panic!("{} churn step {step}: {e}", dist.label()));
+                .unwrap_or_else(|e| panic!("{} seed {seed} churn step {step}: {e}", dist.label()));
         }
     }
-    assert_eq!(net.len(), live.len());
+    assert_eq!(
+        net.len(),
+        live.len(),
+        "{} seed {seed}: population drifted from the live-id mirror",
+        dist.label()
+    );
 
     // After churn, every long link still points at the owner of its target
     // and routing still terminates at the right object.
@@ -43,7 +53,15 @@ fn churn_with(dist: Distribution, seed: u64) {
         if a == b {
             continue;
         }
-        assert_eq!(net.route_between(a, b).unwrap().owner, b);
+        let report = net
+            .route_between(a, b)
+            .unwrap_or_else(|e| panic!("{} seed {seed}: route {a} → {b}: {e}", dist.label()));
+        assert_eq!(
+            report.owner,
+            b,
+            "{} seed {seed}: route {a} → {b} terminated elsewhere",
+            dist.label()
+        );
     }
 }
 

@@ -136,15 +136,21 @@ fn view_sizes_do_not_grow_with_overlay_size() {
 /// of the target.
 #[test]
 fn greedy_routing_is_exact_under_heavy_skew() {
-    let cfg = VoroNetConfig::new(800).with_seed(23);
+    const OVERLAY_SEED: u64 = 23;
+    const QUERY_SEED: u64 = 11;
+    let cfg = VoroNetConfig::new(800).with_seed(OVERLAY_SEED);
     let (mut net, ids) = build_overlay(Distribution::PowerLaw { alpha: 5.0 }, 800, cfg);
-    let mut qg = QueryGenerator::new(11);
-    for _ in 0..300 {
+    let mut qg = QueryGenerator::new(QUERY_SEED);
+    for trial in 0..300 {
         let target = qg.point();
         let from = ids[qg.object_index(ids.len())];
         let expected = net.owner_of(target).unwrap();
         let got = net.route_to_point(from, target).unwrap();
-        assert_eq!(got.owner, expected);
+        assert_eq!(
+            got.owner, expected,
+            "trial {trial} (overlay seed {OVERLAY_SEED}, query seed {QUERY_SEED}): route from \
+             {from} towards {target} missed the owner"
+        );
     }
 }
 

@@ -1,20 +1,25 @@
 //! Property-based tests on the geometric substrate and the overlay
 //! invariants.
 //!
-//! Originally written against `proptest`; the build environment has no
-//! crates.io access, so the same properties are exercised with hand-rolled
-//! seeded case generation (48 cases per property, like the original
-//! `ProptestConfig::with_cases(48)`).  Coordinates are drawn either from a
-//! coarse 64×64 lattice — so that duplicate, collinear and co-circular
-//! configurations appear frequently (the degenerate cases the exact
-//! predicates must survive) — or as arbitrary floats in the unit square.
+//! Originally written against `proptest`, then as hand-rolled seeded
+//! loops; now driven by the testkit's property harness
+//! ([`voronet_testkit::check_cases`]), which keeps the seeded generation
+//! (48 cases per property, like the original
+//! `ProptestConfig::with_cases(48)`) and adds what the ad-hoc loops never
+//! had: on failure the generated input is **shrunk** to a minimal witness
+//! and the panic message carries the exact seed, case number and shrunk
+//! input.  Coordinates are drawn either from a coarse 64×64 lattice — so
+//! that duplicate, collinear and co-circular configurations appear
+//! frequently (the degenerate cases the exact predicates must survive) —
+//! or as arbitrary floats in the unit square.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use voronet::prelude::*;
 use voronet_core::VoroNetConfig;
 use voronet_geom::hull::{convex_hull, delaunay_edges_bruteforce};
 use voronet_geom::{orient2d, Orientation};
+use voronet_testkit::{check_cases, tk_ensure, tk_ensure_eq};
 
 const CASES: u64 = 48;
 
@@ -41,74 +46,97 @@ fn float_points(rng: &mut StdRng, max_len: usize) -> Vec<Point2> {
 /// arbitrary (including degenerate) insertion sequences.
 #[test]
 fn triangulation_valid_after_lattice_insertions() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0x7A11 + case);
-        let pts = lattice_points(&mut rng, 60);
-        let mut tri = Triangulation::unit_square();
-        let mut inserted = 0usize;
-        for p in &pts {
-            match tri.insert(*p) {
-                Ok(_) => inserted += 1,
-                Err(voronet_geom::InsertError::Duplicate(_)) => {}
-                Err(e) => panic!("case {case}: unexpected error {e}"),
+    check_cases(
+        "triangulation-valid-after-lattice-insertions",
+        CASES,
+        0x7A11,
+        |rng| lattice_points(rng, 60),
+        |pts| {
+            let mut tri = Triangulation::unit_square();
+            let mut inserted = 0usize;
+            for p in pts {
+                match tri.insert(*p) {
+                    Ok(_) => inserted += 1,
+                    Err(voronet_geom::InsertError::Duplicate(_)) => {}
+                    Err(e) => return Err(format!("unexpected error {e} inserting {p}")),
+                }
             }
-        }
-        assert_eq!(tri.len(), inserted, "case {case}");
-        assert!(tri.euler_check(), "case {case}");
-        assert!(tri.validate().is_ok(), "case {case}: {:?}", tri.validate());
-    }
+            tk_ensure_eq!(tri.len(), inserted, "triangulation size");
+            tk_ensure!(tri.euler_check(), "Euler characteristic violated");
+            tk_ensure!(
+                tri.validate().is_ok(),
+                "triangulation invalid: {:?}",
+                tri.validate()
+            );
+            Ok(())
+        },
+    );
 }
 
 /// Inserting then removing every point returns the triangulation to its
 /// empty state, whatever the order.
 #[test]
 fn triangulation_insert_remove_roundtrip() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0xB0B + case);
-        let pts = float_points(&mut rng, 40);
-        let mut tri = Triangulation::unit_square();
-        let mut ids = Vec::new();
-        for p in &pts {
-            if let Ok(v) = tri.insert(*p) {
-                ids.push(v);
+    check_cases(
+        "triangulation-insert-remove-roundtrip",
+        CASES,
+        0xB0B,
+        |rng| float_points(rng, 40),
+        |pts| {
+            let mut tri = Triangulation::unit_square();
+            let mut ids = Vec::new();
+            for p in pts {
+                if let Ok(v) = tri.insert(*p) {
+                    ids.push(v);
+                }
             }
-        }
-        for &v in ids.iter().rev() {
-            assert!(tri.remove(v).is_ok(), "case {case}");
-        }
-        assert!(tri.is_empty(), "case {case}");
-        assert_eq!(tri.num_triangles(), 2, "case {case}");
-        assert!(tri.validate().is_ok(), "case {case}");
-    }
+            for &v in ids.iter().rev() {
+                tk_ensure!(tri.remove(v).is_ok(), "removal of {v:?} failed");
+            }
+            tk_ensure!(tri.is_empty(), "triangulation not empty after teardown");
+            tk_ensure_eq!(tri.num_triangles(), 2, "sentinel triangle count");
+            tk_ensure!(tri.validate().is_ok(), "invalid after teardown");
+            Ok(())
+        },
+    );
 }
 
 /// The greedy nearest-vertex walk agrees with a brute-force scan.
 #[test]
 fn nearest_vertex_matches_bruteforce() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0x4EA3 + case);
-        let pts = float_points(&mut rng, 40);
-        let q = Point2::new(rng.random::<f64>(), rng.random::<f64>());
-        let mut tri = Triangulation::unit_square();
-        let mut ids = Vec::new();
-        for p in &pts {
-            if let Ok(v) = tri.insert(*p) {
-                ids.push(v);
+    check_cases(
+        "nearest-vertex-matches-bruteforce",
+        CASES,
+        0x4EA3,
+        |rng| {
+            let pts = float_points(rng, 40);
+            let q = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+            (pts, q)
+        },
+        |(pts, q)| {
+            let mut tri = Triangulation::unit_square();
+            let mut ids = Vec::new();
+            for p in pts {
+                if let Ok(v) = tri.insert(*p) {
+                    ids.push(v);
+                }
             }
-        }
-        if ids.is_empty() {
-            continue;
-        }
-        let found = tri.nearest_vertex(q).unwrap();
-        let best = ids
-            .iter()
-            .map(|&v| tri.point(v).distance2(q))
-            .fold(f64::INFINITY, f64::min);
-        assert!(
-            (tri.point(found).distance2(q) - best).abs() < 1e-15,
-            "case {case}"
-        );
-    }
+            if ids.is_empty() {
+                return Ok(());
+            }
+            let found = tri.nearest_vertex(*q).expect("non-empty");
+            let best = ids
+                .iter()
+                .map(|&v| tri.point(v).distance2(*q))
+                .fold(f64::INFINITY, f64::min);
+            tk_ensure!(
+                (tri.point(found).distance2(*q) - best).abs() < 1e-15,
+                "nearest_vertex found d²={} but brute force found d²={best}",
+                tri.point(found).distance2(*q)
+            );
+            Ok(())
+        },
+    );
 }
 
 /// Interior Delaunay edges found incrementally match the brute-force
@@ -116,63 +144,79 @@ fn nearest_vertex_matches_bruteforce() {
 /// see DESIGN.md).
 #[test]
 fn incremental_interior_edges_are_delaunay() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0xDE1A + case);
-        let pts = float_points(&mut rng, 26);
-        if pts.len() < 4 {
-            continue;
-        }
-        let mut dedup = pts.clone();
-        dedup.sort_by(|a, b| a.lex_cmp(b));
-        dedup.dedup_by(|a, b| a.x == b.x && a.y == b.y);
-        if dedup.len() < 4 {
-            continue;
-        }
-
-        let hull = convex_hull(&dedup);
-        let is_hull = |p: Point2| hull.iter().any(|&h| h.x == p.x && h.y == p.y);
-
-        let mut tri = Triangulation::unit_square();
-        let ids: Vec<_> = dedup.iter().map(|&p| tri.insert(p).unwrap()).collect();
-        let brute = delaunay_edges_bruteforce(&dedup);
-        for (i, j) in brute {
-            if is_hull(dedup[i]) || is_hull(dedup[j]) {
-                continue;
+    check_cases(
+        "incremental-interior-edges-are-delaunay",
+        CASES,
+        0xDE1A,
+        |rng| float_points(rng, 26),
+        |pts| {
+            if pts.len() < 4 {
+                return Ok(());
             }
-            assert!(
-                tri.are_neighbors(ids[i], ids[j]),
-                "case {case}: missing interior Delaunay edge between {} and {}",
-                dedup[i],
-                dedup[j]
-            );
-        }
-    }
+            let mut dedup = pts.clone();
+            dedup.sort_by(|a, b| a.lex_cmp(b));
+            dedup.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+            if dedup.len() < 4 {
+                return Ok(());
+            }
+
+            let hull = convex_hull(&dedup);
+            let is_hull = |p: Point2| hull.iter().any(|&h| h.x == p.x && h.y == p.y);
+
+            let mut tri = Triangulation::unit_square();
+            let ids: Vec<_> = dedup
+                .iter()
+                .map(|&p| tri.insert(p).expect("deduplicated"))
+                .collect();
+            let brute = delaunay_edges_bruteforce(&dedup);
+            for (i, j) in brute {
+                if is_hull(dedup[i]) || is_hull(dedup[j]) {
+                    continue;
+                }
+                tk_ensure!(
+                    tri.are_neighbors(ids[i], ids[j]),
+                    "missing interior Delaunay edge between {} and {}",
+                    dedup[i],
+                    dedup[j]
+                );
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Convex hull output is convex and contains every input point.
 #[test]
 fn convex_hull_is_convex_superset() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0xC0DE + case);
-        let pts = float_points(&mut rng, 50);
-        let hull = convex_hull(&pts);
-        if hull.len() < 3 {
-            continue;
-        }
-        let n = hull.len();
-        for i in 0..n {
-            let a = hull[i];
-            let b = hull[(i + 1) % n];
-            assert_eq!(
-                orient2d(a, b, hull[(i + 2) % n]),
-                Orientation::Positive,
-                "case {case}"
-            );
-            for &p in &pts {
-                assert!(orient2d(a, b, p) != Orientation::Negative, "case {case}");
+    check_cases(
+        "convex-hull-is-convex-superset",
+        CASES,
+        0xC0DE,
+        |rng| float_points(rng, 50),
+        |pts| {
+            let hull = convex_hull(pts);
+            if hull.len() < 3 {
+                return Ok(());
             }
-        }
-    }
+            let n = hull.len();
+            for i in 0..n {
+                let a = hull[i];
+                let b = hull[(i + 1) % n];
+                tk_ensure_eq!(
+                    orient2d(a, b, hull[(i + 2) % n]),
+                    Orientation::Positive,
+                    "hull turn at vertex {i}"
+                );
+                for &p in pts {
+                    tk_ensure!(
+                        orient2d(a, b, p) != Orientation::Negative,
+                        "point {p} lies outside hull edge {a} → {b}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Overlay invariants (close neighbours exact, long links owned, back-links
@@ -180,51 +224,70 @@ fn convex_hull_is_convex_superset() {
 /// prefix of removals.
 #[test]
 fn overlay_invariants_random_build_and_partial_teardown() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0x1EA5 + case);
-        let pts = float_points(&mut rng, 30);
-        let remove_count = rng.random_range(0..20usize);
-        let cfg = VoroNetConfig::new(40).with_long_links(2).with_seed(99);
-        let mut net = VoroNet::new(cfg);
-        let mut ids = Vec::new();
-        for p in &pts {
-            if let Ok(r) = net.insert(*p) {
-                ids.push(r.id);
+    check_cases(
+        "overlay-invariants-random-build-and-partial-teardown",
+        CASES,
+        0x1EA5,
+        |rng| {
+            let pts = float_points(rng, 30);
+            let remove_count = rng.random_range(0..20usize);
+            (pts, remove_count)
+        },
+        |(pts, remove_count)| {
+            let cfg = VoroNetConfig::new(40).with_long_links(2).with_seed(99);
+            let mut net = VoroNet::new(cfg);
+            let mut ids = Vec::new();
+            for p in pts {
+                if let Ok(r) = net.insert(*p) {
+                    ids.push(r.id);
+                }
             }
-        }
-        for &id in ids.iter().take(remove_count.min(ids.len())) {
-            assert!(net.remove(id).is_ok(), "case {case}");
-        }
-        assert!(
-            net.check_invariants(true).is_ok(),
-            "case {case}: {:?}",
-            net.check_invariants(true)
-        );
-        assert!(net.triangulation().validate().is_ok(), "case {case}");
-    }
+            for &id in ids.iter().take((*remove_count).min(ids.len())) {
+                tk_ensure!(net.remove(id).is_ok(), "removal of {id} failed");
+            }
+            tk_ensure!(
+                net.check_invariants(true).is_ok(),
+                "invariants violated: {:?}",
+                net.check_invariants(true)
+            );
+            tk_ensure!(
+                net.triangulation().validate().is_ok(),
+                "triangulation invalid after teardown"
+            );
+            Ok(())
+        },
+    );
 }
 
 /// Greedy routing always terminates at the owner of the target region.
 #[test]
 fn greedy_routing_terminates_at_owner() {
-    for case in 0..CASES {
-        let mut rng = StdRng::seed_from_u64(0x60A1 + case);
-        let pts = float_points(&mut rng, 30);
-        let q = Point2::new(rng.random::<f64>(), rng.random::<f64>());
-        let cfg = VoroNetConfig::new(40).with_seed(5);
-        let mut net = VoroNet::new(cfg);
-        let mut ids = Vec::new();
-        for p in &pts {
-            if let Ok(r) = net.insert(*p) {
-                ids.push(r.id);
+    check_cases(
+        "greedy-routing-terminates-at-owner",
+        CASES,
+        0x60A1,
+        |rng| {
+            let pts = float_points(rng, 30);
+            let q = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+            (pts, q)
+        },
+        |(pts, q)| {
+            let cfg = VoroNetConfig::new(40).with_seed(5);
+            let mut net = VoroNet::new(cfg);
+            let mut ids = Vec::new();
+            for p in pts {
+                if let Ok(r) = net.insert(*p) {
+                    ids.push(r.id);
+                }
             }
-        }
-        if ids.len() < 2 {
-            continue;
-        }
-        let expected = net.owner_of(q).unwrap();
-        let got = net.route_to_point(ids[0], q).unwrap();
-        assert_eq!(got.owner, expected, "case {case}");
-        assert_eq!(got.path.len() as u32, got.hops + 1, "case {case}");
-    }
+            if ids.len() < 2 {
+                return Ok(());
+            }
+            let expected = net.owner_of(*q).expect("non-empty");
+            let got = net.route_to_point(ids[0], *q).expect("route succeeds");
+            tk_ensure_eq!(got.owner, expected, "owner of {q}");
+            tk_ensure_eq!(got.path.len() as u32, got.hops + 1, "path length vs hops");
+            Ok(())
+        },
+    );
 }
