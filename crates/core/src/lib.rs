@@ -59,6 +59,6 @@ pub use queries::{
 };
 pub use runtime::{
     run_scenario, AsyncOverlay, OpToken, ProtocolMsg, RoutePurpose, RoutingMode, ScenarioCounters,
-    ScenarioReport, UNTRACKED,
+    ScenarioReport, WireTap, UNTRACKED,
 };
 pub use snapshot::{FrozenView, RouteScratch, TrafficAccumulator, TrafficDelta};

@@ -156,6 +156,36 @@ pub enum ProtocolMsg {
     },
 }
 
+/// A hook through which every [`ProtocolMsg`] the asynchronous runtime
+/// sends can be passed before entering the (simulated) network.
+///
+/// `voronet-net` installs its frame codec here: the message is encoded
+/// into a wire frame and decoded back, so the simulated path exercises
+/// the exact bytes a deployed node would exchange while delivery
+/// decisions, timing and accounting stay bit-identical — pinned by
+/// `tests/api_conformance.rs`.
+pub trait WireTap: Send {
+    /// Transforms a message on its way into the network.  A transparent
+    /// codec returns a value equal to `msg`; the conformance suite
+    /// asserts the whole run is unchanged.
+    fn roundtrip(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: MessageKind,
+        msg: ProtocolMsg,
+    ) -> ProtocolMsg;
+
+    /// Clones the tap for [`AsyncOverlay`]'s `Clone` implementation.
+    fn clone_box(&self) -> Box<dyn WireTap>;
+}
+
+impl Clone for Box<dyn WireTap> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// How `RouteStep` messages pick the next hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RoutingMode {
@@ -265,6 +295,8 @@ pub struct AsyncOverlay {
     next_joiner: NodeId,
     /// Scripted `Leave` operations are skipped at or below this population.
     min_population: usize,
+    /// Optional wire-codec hook every outgoing message passes through.
+    wire_tap: Option<Box<dyn WireTap>>,
 }
 
 impl AsyncOverlay {
@@ -287,6 +319,7 @@ impl AsyncOverlay {
             join_results: HashMap::new(),
             next_joiner: JOINER,
             min_population: 8,
+            wire_tap: None,
         }
     }
 
@@ -294,6 +327,30 @@ impl AsyncOverlay {
     pub fn with_routing_mode(mut self, mode: RoutingMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Installs a [`WireTap`] through which every subsequently sent
+    /// protocol message passes (e.g. the `voronet-net` frame codec
+    /// round-trip).  Passing a transparent tap leaves every observable
+    /// result bit-identical.
+    pub fn set_wire_tap(&mut self, tap: Box<dyn WireTap>) {
+        self.wire_tap = Some(tap);
+    }
+
+    /// Builder form of [`AsyncOverlay::set_wire_tap`].
+    pub fn with_wire_tap(mut self, tap: Box<dyn WireTap>) -> Self {
+        self.set_wire_tap(tap);
+        self
+    }
+
+    /// Sends one protocol message through the optional wire tap and into
+    /// the runtime's network.
+    fn transmit(&mut self, from: NodeId, to: NodeId, kind: MessageKind, msg: ProtocolMsg) -> bool {
+        let msg = match self.wire_tap.as_mut() {
+            Some(tap) => tap.roundtrip(from, to, kind, msg),
+            None => msg,
+        };
+        self.runtime.send(from, to, kind, msg)
     }
 
     /// Sets the population floor below which scripted `Leave` operations
@@ -544,7 +601,7 @@ impl AsyncOverlay {
                         if reply {
                             self.counters.pongs += 1;
                         } else {
-                            self.runtime.send(
+                            self.transmit(
                                 at.0,
                                 envelope.from,
                                 MessageKind::Other,
@@ -601,7 +658,7 @@ impl AsyncOverlay {
             Some(bootstrap) => {
                 let joiner = self.next_joiner;
                 self.next_joiner -= 1;
-                self.runtime.send(
+                self.transmit(
                     joiner,
                     bootstrap.0,
                     MessageKind::Other,
@@ -665,7 +722,7 @@ impl AsyncOverlay {
                     return;
                 };
                 self.counters.pings += 1;
-                self.runtime.send(
+                self.transmit(
                     a.0,
                     b.0,
                     MessageKind::Other,
@@ -729,7 +786,7 @@ impl AsyncOverlay {
         if best == cur {
             self.complete_route(cur, target, origin, hops, purpose);
         } else {
-            self.runtime.send(
+            self.transmit(
                 cur.0,
                 best.0,
                 MessageKind::RouteForward,
@@ -807,7 +864,7 @@ impl AsyncOverlay {
                 // back to the origin.
                 self.routes.record(hops);
                 self.counters.routes_completed += 1;
-                self.runtime.send(
+                self.transmit(
                     owner.0,
                     origin,
                     MessageKind::QueryAnswer,
@@ -852,7 +909,7 @@ impl AsyncOverlay {
             // `Answer` handler); lost answers fail the query.
             self.pending_area.insert(token, report);
         }
-        self.runtime.send(
+        self.transmit(
             owner.0,
             origin,
             MessageKind::QueryAnswer,
@@ -876,7 +933,7 @@ impl AsyncOverlay {
                 self.counters.joins_completed += 1;
                 self.record_join(token, Ok(id));
                 for peer in self.affected_by(id) {
-                    self.runtime.send(
+                    self.transmit(
                         id.0,
                         peer.0,
                         MessageKind::VoronoiUpdate,
@@ -898,7 +955,7 @@ impl AsyncOverlay {
     fn depart(&mut self, departing: ObjectId) {
         let affected = self.affected_by(departing);
         for peer in affected {
-            self.runtime.send(
+            self.transmit(
                 departing.0,
                 peer.0,
                 MessageKind::Departure,

@@ -1,0 +1,1314 @@
+//! A deployable overlay cluster over any [`Transport`]: a controller
+//! ("driver") plus K object-hosting peers exchanging wire frames.
+//!
+//! ## Roles
+//!
+//! * The **driver** (peer 0) owns the authoritative [`VoroNet`]
+//!   tessellation — the control plane.  Membership changes execute there;
+//!   after each one the driver diffs every live object's materialised
+//!   view against what was last shipped and pushes [`WireMsg::ViewUpdate`]
+//!   frames (routing table, Voronoi neighbours, cell polygon) to the
+//!   hosts, waiting for acks.  This is the same refresh-boundary model as
+//!   `core::runtime`: hosts route **purely from shipped snapshots**.
+//! * Each **host** (peers `1..=K`) holds the objects with
+//!   `host_of(id) = 1 + id mod K` — the data plane.  Greedy routing
+//!   ([`WireMsg::RouteStep`]) and area-query flooding
+//!   ([`WireMsg::FloodProbe`]/[`WireMsg::FloodReply`]) run peer-to-peer
+//!   between hosts; only the final answer returns to the driver.
+//!
+//! ## Conformance
+//!
+//! Because hosts receive the exact routing tables, Voronoi neighbour
+//! sets and cell polygons of the authoritative tessellation (as f64 bit
+//! patterns over the wire), the distributed greedy walk and the
+//! distributed flood reproduce the single-process results bit-for-bit on
+//! a synchronised cluster: same owners, same hop counts, same match
+//! sets — asserted by the in-process tests below and by the
+//! multi-process loopback-UDP test in `crates/node`.
+//!
+//! ## Loss tolerance
+//!
+//! Every request the driver issues carries a fresh correlation token per
+//! attempt and is retried on timeout; view pushes are resent until
+//! acked; flood coordinators retransmit unanswered probes.  Handlers are
+//! idempotent, so duplication from retries is harmless.
+
+use crate::transport::{PeerId, Transport, TransportError};
+use crate::wire::{EntryList, IdList, PointList, WireMsg, WirePurpose, WireQuery};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::time::{Duration, Instant};
+use voronet_core::{JoinError, VoroNet, VoroNetConfig};
+use voronet_geom::{voronoi_cell, Point2, Polygon};
+use voronet_sim::TransportStats;
+use voronet_workloads::{RadiusQuery, RangeQuery, WorkloadOp};
+
+/// The driver's peer id.
+pub const DRIVER_PEER: PeerId = 0;
+
+/// The host peer responsible for an object.
+pub fn host_of(object: u64, hosts: u64) -> PeerId {
+    1 + object % hosts.max(1)
+}
+
+const ACK_RESEND: Duration = Duration::from_millis(200);
+const OP_TIMEOUT: Duration = Duration::from_secs(2);
+const OP_RETRIES: u32 = 5;
+const SYNC_DEADLINE: Duration = Duration::from_secs(60);
+const PROBE_RESEND: Duration = Duration::from_millis(150);
+const PROBE_MAX_ATTEMPTS: u32 = 40;
+
+/// Why a cluster operation failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The underlying transport failed.
+    Transport(TransportError),
+    /// A request exhausted its retries without an answer.
+    Timeout(&'static str),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Transport(e) => write!(f, "cluster transport error: {e}"),
+            ClusterError::Timeout(what) => write!(f, "cluster timeout waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<TransportError> for ClusterError {
+    fn from(e: TransportError) -> Self {
+        ClusterError::Transport(e)
+    }
+}
+
+/// Outcome of one applied [`WorkloadOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutcome {
+    /// Insert: the new object's id, `None` when the overlay rejected it.
+    Inserted(Option<u64>),
+    /// Remove: the departed object's id, `None` when skipped.
+    Removed(Option<u64>),
+    /// Point route: owner of the target's region and greedy hop count.
+    Route {
+        /// Owner object.
+        owner: u64,
+        /// Greedy hops.
+        hops: u32,
+    },
+    /// Area/radius query: sorted match set, routing hops, flood footprint.
+    Matches {
+        /// Matching objects, ascending.
+        matches: Vec<u64>,
+        /// Hops of the initial greedy route.
+        hops: u32,
+        /// Objects visited by the flood.
+        visited: u32,
+    },
+    /// The operation does not apply to a cluster (e.g. `Snapshot`).
+    Skipped,
+}
+
+/// Stats snapshot returned by a host at shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostReport {
+    /// The reporting peer.
+    pub peer: PeerId,
+    /// Its transport counters.
+    pub stats: TransportStats,
+    /// Protocol operations it served.
+    pub ops_served: u64,
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// What was last shipped to a host for one object; views are re-pushed
+/// only when this differs from the freshly materialised state.
+#[derive(Debug, Clone, PartialEq)]
+struct ShippedView {
+    coords: Point2,
+    routing: Vec<(u64, Point2)>,
+    vn: Vec<u64>,
+    cell: Vec<Point2>,
+}
+
+/// A pending push awaiting its ack, pre-encoded for cheap resends.
+#[derive(Debug)]
+struct PendingPush {
+    peer: PeerId,
+    frame: Vec<u8>,
+}
+
+/// The cluster controller: authoritative tessellation + view
+/// distribution + request/answer correlation.  Generic over the
+/// transport, so the same driver runs on vnet, UDP and TCP.
+pub struct Driver<T: Transport> {
+    t: T,
+    hosts: u64,
+    net: VoroNet,
+    shipped: HashMap<u64, ShippedView>,
+    seqs: HashMap<u64, u64>,
+    next_token: u64,
+    buf: Vec<u8>,
+}
+
+impl<T: Transport> Driver<T> {
+    /// Creates a driver over an already-bound transport (peers must be
+    /// registered by the caller) controlling `hosts` host peers.
+    pub fn new(transport: T, hosts: u64, config: VoroNetConfig) -> Self {
+        Driver {
+            t: transport,
+            hosts,
+            net: VoroNet::new(config),
+            shipped: HashMap::new(),
+            seqs: HashMap::new(),
+            next_token: 1,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Read access to the authoritative overlay.
+    pub fn net(&self) -> &VoroNet {
+        &self.net
+    }
+
+    /// Live population.
+    pub fn population(&self) -> usize {
+        self.net.len()
+    }
+
+    /// The driver endpoint's transport counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.t.stats()
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// Materialises the current shippable state of one live object.
+    fn current_view(&self, id: u64) -> ShippedView {
+        let oid = voronet_core::ObjectId(id);
+        let view = self.net.view(oid).expect("live object");
+        let coords = view.coords;
+        let mut routing = Vec::new();
+        for nb in view.routing_neighbours() {
+            if let Some(c) = self.net.coords(nb) {
+                routing.push((nb.0, c));
+            }
+        }
+        let vn: Vec<u64> = view.voronoi_neighbours.iter().map(|n| n.0).collect();
+        let cell = match self.net.vertex_of(oid) {
+            Some(v) => voronoi_cell(self.net.triangulation(), v).polygon.vertices,
+            None => Vec::new(),
+        };
+        ShippedView {
+            coords,
+            routing,
+            vn,
+            cell,
+        }
+    }
+
+    /// Pushes view diffs (and the given evictions) to the hosts and
+    /// blocks until every push is acked, resending on a timer.
+    fn sync_views(&mut self, evicted: &[u64]) -> Result<(), ClusterError> {
+        let mut pending: HashMap<(u64, u64), PendingPush> = HashMap::new();
+        for &object in evicted {
+            self.shipped.remove(&object);
+            let seq = self.seqs.entry(object).or_insert(0);
+            *seq += 1;
+            let seq = *seq;
+            let peer = host_of(object, self.hosts);
+            let mut frame = Vec::new();
+            WireMsg::Evict { object, seq }
+                .encode(DRIVER_PEER, peer, &mut frame)
+                .expect("evict is tiny");
+            pending.insert((object, seq), PendingPush { peer, frame });
+        }
+        let live: Vec<u64> = self.net.ids().map(|id| id.0).collect();
+        for object in live {
+            let current = self.current_view(object);
+            if self.shipped.get(&object) == Some(&current) {
+                continue;
+            }
+            let seq = self.seqs.entry(object).or_insert(0);
+            *seq += 1;
+            let seq = *seq;
+            let peer = host_of(object, self.hosts);
+            let mut frame = Vec::new();
+            let mut routing_scratch = Vec::new();
+            let mut vn_scratch = Vec::new();
+            let mut cell_scratch = Vec::new();
+            WireMsg::ViewUpdate {
+                object,
+                seq,
+                coords: current.coords,
+                routing: EntryList::build(&mut routing_scratch, &current.routing),
+                vn: IdList::build(&mut vn_scratch, &current.vn),
+                cell: PointList::build(&mut cell_scratch, &current.cell),
+            }
+            .encode(DRIVER_PEER, peer, &mut frame)
+            .expect("views of a bounded-degree node fit one frame");
+            pending.insert((object, seq), PendingPush { peer, frame });
+            self.shipped.insert(object, current);
+        }
+
+        for push in pending.values() {
+            self.t.send(push.peer, &push.frame)?;
+        }
+        let overall = Instant::now();
+        let mut last_resend = Instant::now();
+        let mut buf = Vec::new();
+        while !pending.is_empty() {
+            if overall.elapsed() > SYNC_DEADLINE {
+                return Err(ClusterError::Timeout("view acks"));
+            }
+            match self.t.recv_into(&mut buf)? {
+                Some(_) => {
+                    // Anything else here is a stale answer from an
+                    // abandoned attempt; ignore it.
+                    if let Ok((
+                        _,
+                        WireMsg::ViewAck { object, seq } | WireMsg::EvictAck { object, seq },
+                    )) = WireMsg::decode(&buf)
+                    {
+                        pending.remove(&(object, seq));
+                    }
+                }
+                None => {
+                    if last_resend.elapsed() > ACK_RESEND {
+                        for push in pending.values() {
+                            self.t.send(push.peer, &push.frame)?;
+                        }
+                        last_resend = Instant::now();
+                    }
+                    self.t.poll()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts an object at `position` into the overlay and synchronises
+    /// every affected view.  `Ok(None)` when the overlay rejects the
+    /// position (duplicate).
+    pub fn insert(&mut self, position: Point2) -> Result<Option<u64>, ClusterError> {
+        match self.net.insert(position) {
+            Ok(report) => {
+                let id = report.id.0;
+                self.sync_views(&[])?;
+                Ok(Some(id))
+            }
+            Err(JoinError::DuplicatePosition(_)) => Ok(None),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Removes the `index`-th live object (modulo the population) and
+    /// synchronises the survivors' views.  `Ok(None)` when the overlay
+    /// refuses the departure (population floor).
+    pub fn remove_index(&mut self, index: usize) -> Result<Option<u64>, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(None);
+        }
+        let id = self
+            .net
+            .id_at(index % self.net.len())
+            .expect("index below len");
+        match self.net.remove(id) {
+            Ok(_) => {
+                self.sync_views(&[id.0])?;
+                Ok(Some(id.0))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Sends one request frame and waits for the answer matching
+    /// `token`, retrying the whole request (with the same pre-encoded
+    /// frame) on timeout.
+    fn request(
+        &mut self,
+        peer: PeerId,
+        request: &[u8],
+        token: u64,
+        what: &'static str,
+    ) -> Result<(u32, OpOutcome), ClusterError> {
+        for _ in 0..OP_RETRIES {
+            self.t.send(peer, request)?;
+            let start = Instant::now();
+            let mut buf = Vec::new();
+            while start.elapsed() < OP_TIMEOUT {
+                match self.t.recv_into(&mut buf)? {
+                    Some(_) => {
+                        if let Ok((_, msg)) = WireMsg::decode(&buf) {
+                            match msg {
+                                WireMsg::AnswerOwner {
+                                    token: t,
+                                    owner,
+                                    hops,
+                                } if t == token => {
+                                    return Ok((hops, OpOutcome::Route { owner, hops }));
+                                }
+                                WireMsg::AnswerMatches {
+                                    token: t,
+                                    hops,
+                                    visited,
+                                    matches,
+                                } if t == token => {
+                                    return Ok((
+                                        hops,
+                                        OpOutcome::Matches {
+                                            matches: matches.to_vec(),
+                                            hops,
+                                            visited,
+                                        },
+                                    ));
+                                }
+                                _ => {} // stale token or late ack
+                            }
+                        }
+                    }
+                    None => self.t.poll()?,
+                }
+            }
+        }
+        Err(ClusterError::Timeout(what))
+    }
+
+    /// Routes from the `from`-th live object towards the `to`-th one's
+    /// coordinates through the distributed overlay.
+    pub fn route_indices(&mut self, from: usize, to: usize) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let n = self.net.len();
+        let from_id = self.net.id_at(from % n).expect("index below len").0;
+        let to_id = self.net.id_at(to % n).expect("index below len");
+        let target = self.net.coords(to_id).expect("live object");
+        let token = self.fresh_token();
+        let mut frame = Vec::new();
+        WireMsg::RouteReq {
+            token,
+            from_object: from_id,
+            target,
+        }
+        .encode(DRIVER_PEER, host_of(from_id, self.hosts), &mut frame)
+        .expect("route request is tiny");
+        let (_, outcome) = self.request(host_of(from_id, self.hosts), &frame, token, "route")?;
+        Ok(outcome)
+    }
+
+    /// Executes a distributed rectangular range query issued by the
+    /// `from`-th live object.
+    pub fn range_query(
+        &mut self,
+        from: usize,
+        query: RangeQuery,
+    ) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
+        let token = self.fresh_token();
+        let mut frame = Vec::new();
+        WireMsg::AreaReq {
+            token,
+            from_object: from_id,
+            rect: query.rect,
+        }
+        .encode(DRIVER_PEER, host_of(from_id, self.hosts), &mut frame)
+        .expect("area request is tiny");
+        let (_, outcome) =
+            self.request(host_of(from_id, self.hosts), &frame, token, "range query")?;
+        Ok(outcome)
+    }
+
+    /// Executes a distributed radius query issued by the `from`-th live
+    /// object.
+    pub fn radius_query(
+        &mut self,
+        from: usize,
+        query: RadiusQuery,
+    ) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
+        let token = self.fresh_token();
+        let mut frame = Vec::new();
+        WireMsg::RadiusReq {
+            token,
+            from_object: from_id,
+            center: query.center,
+            radius: query.radius,
+        }
+        .encode(DRIVER_PEER, host_of(from_id, self.hosts), &mut frame)
+        .expect("radius request is tiny");
+        let (_, outcome) =
+            self.request(host_of(from_id, self.hosts), &frame, token, "radius query")?;
+        Ok(outcome)
+    }
+
+    /// Applies one scripted [`WorkloadOp`] to the cluster.
+    pub fn apply(&mut self, op: &WorkloadOp) -> Result<OpOutcome, ClusterError> {
+        match *op {
+            WorkloadOp::Insert { position } => Ok(OpOutcome::Inserted(self.insert(position)?)),
+            WorkloadOp::Remove { index } => Ok(OpOutcome::Removed(self.remove_index(index)?)),
+            WorkloadOp::Route { from, to } => self.route_indices(from, to),
+            WorkloadOp::Range { from, query } => self.range_query(from, query),
+            WorkloadOp::Radius { from, query } => self.radius_query(from, query),
+            WorkloadOp::Snapshot { .. } => Ok(OpOutcome::Skipped),
+        }
+    }
+
+    /// Collects every host's stats snapshot.
+    pub fn collect_stats(&mut self) -> Result<Vec<HostReport>, ClusterError> {
+        let mut reports = Vec::new();
+        for peer in 1..=self.hosts {
+            let mut frame = Vec::new();
+            WireMsg::StatsReq
+                .encode(DRIVER_PEER, peer, &mut frame)
+                .expect("stats request is tiny");
+            let mut got = None;
+            'attempts: for _ in 0..OP_RETRIES {
+                self.t.send(peer, &frame)?;
+                let start = Instant::now();
+                let mut buf = Vec::new();
+                while start.elapsed() < OP_TIMEOUT {
+                    match self.t.recv_into(&mut buf)? {
+                        Some(from) => {
+                            if from == peer {
+                                if let Ok((_, WireMsg::StatsReply { stats, ops_served })) =
+                                    WireMsg::decode(&buf)
+                                {
+                                    got = Some(HostReport {
+                                        peer,
+                                        stats,
+                                        ops_served,
+                                    });
+                                    break 'attempts;
+                                }
+                            }
+                        }
+                        None => self.t.poll()?,
+                    }
+                }
+            }
+            reports.push(got.ok_or(ClusterError::Timeout("host stats"))?);
+        }
+        Ok(reports)
+    }
+
+    /// Tells every host to exit its serve loop (best-effort; sent a few
+    /// times to survive datagram loss).
+    pub fn shutdown_hosts(&mut self) -> Result<(), ClusterError> {
+        for _ in 0..3 {
+            for peer in 1..=self.hosts {
+                let mut frame = std::mem::take(&mut self.buf);
+                WireMsg::Shutdown
+                    .encode(DRIVER_PEER, peer, &mut frame)
+                    .expect("shutdown is tiny");
+                self.t.send(peer, &frame)?;
+                self.buf = frame;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Host
+// ---------------------------------------------------------------------
+
+/// One hosted object's shipped snapshot: everything a host needs to
+/// route through it and evaluate flood predicates at it.
+#[derive(Debug, Clone)]
+struct Hosted {
+    seq: u64,
+    coords: Point2,
+    routing: Vec<(u64, Point2)>,
+    vn: Vec<u64>,
+    cell: Vec<Point2>,
+}
+
+impl Hosted {
+    /// Mirrors `core::queries`: the coordinate predicate (match) and the
+    /// cell-touches-area predicate (flood expansion), computed from the
+    /// shipped geometry with the exact same f64 operations as the
+    /// single-process oracle.
+    fn evaluate(&self, query: &WireQuery) -> (bool, bool) {
+        match *query {
+            WireQuery::Rect(rect) => {
+                let is_match = rect.contains(self.coords);
+                let eligible = is_match
+                    || !Polygon::new(self.cell.clone())
+                        .clip_to_rect(rect)
+                        .is_empty();
+                (eligible, is_match)
+            }
+            WireQuery::Disk { center, radius } => {
+                let is_match = self.coords.distance2(center) <= radius * radius;
+                let eligible = if self.coords.distance(center) <= radius {
+                    true
+                } else if self.cell.len() < 2 {
+                    false
+                } else {
+                    let n = self.cell.len();
+                    (0..n).any(|i| {
+                        center.distance_to_segment(self.cell[i], self.cell[(i + 1) % n]) <= radius
+                    })
+                };
+                (eligible, is_match)
+            }
+        }
+    }
+}
+
+/// An outstanding flood probe awaiting its reply.
+#[derive(Debug)]
+struct ProbeState {
+    sent_at: Instant,
+    attempts: u32,
+}
+
+/// Coordinator state of one in-progress distributed flood (lives on the
+/// host of the area's owner object).
+#[derive(Debug)]
+struct Flood {
+    origin: PeerId,
+    hops: u32,
+    query: WireQuery,
+    visited: BTreeSet<u64>,
+    matches: Vec<u64>,
+    frontier: Vec<u64>,
+    outstanding: HashMap<u64, ProbeState>,
+}
+
+/// One object-hosting peer: applies view pushes, forwards greedy route
+/// steps, evaluates and coordinates floods, answers the driver.
+pub struct HostNode<T: Transport> {
+    t: T,
+    peer: PeerId,
+    hosts: u64,
+    objects: HashMap<u64, Hosted>,
+    floods: HashMap<u64, Flood>,
+    ops_served: u64,
+    shutdown: bool,
+}
+
+impl<T: Transport> HostNode<T> {
+    /// Creates a host over an already-bound transport (peers registered
+    /// by the caller).
+    pub fn new(transport: T, peer: PeerId, hosts: u64) -> Self {
+        HostNode {
+            t: transport,
+            peer,
+            hosts,
+            objects: HashMap::new(),
+            floods: HashMap::new(),
+            ops_served: 0,
+            shutdown: false,
+        }
+    }
+
+    /// Number of objects currently hosted here.
+    pub fn hosted(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Protocol operations served so far.
+    pub fn ops_served(&self) -> u64 {
+        self.ops_served
+    }
+
+    /// This host's transport counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.t.stats()
+    }
+
+    /// True once a [`WireMsg::Shutdown`] has been handled.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Serves until shutdown: the loop of the `voronet-node` binary and
+    /// of in-process cluster threads.
+    pub fn run(&mut self) -> Result<(), ClusterError> {
+        let mut buf = Vec::new();
+        while !self.shutdown {
+            if !self.step(&mut buf)? {
+                self.t.poll()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles at most one pending frame plus flood retransmissions;
+    /// returns whether a frame was processed.
+    pub fn step(&mut self, buf: &mut Vec<u8>) -> Result<bool, ClusterError> {
+        self.tick()?;
+        match self.t.recv_into(buf)? {
+            Some(_) => {
+                self.handle_frame(buf)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Retransmits unanswered flood probes and finishes floods whose
+    /// probes exhausted their attempts.
+    fn tick(&mut self) -> Result<(), ClusterError> {
+        let tokens: Vec<u64> = self.floods.keys().copied().collect();
+        for token in tokens {
+            let mut resend: Vec<u64> = Vec::new();
+            let mut abandon: Vec<u64> = Vec::new();
+            if let Some(flood) = self.floods.get_mut(&token) {
+                for (&object, probe) in flood.outstanding.iter_mut() {
+                    if probe.sent_at.elapsed() > PROBE_RESEND {
+                        probe.attempts += 1;
+                        probe.sent_at = Instant::now();
+                        if probe.attempts > PROBE_MAX_ATTEMPTS {
+                            abandon.push(object);
+                        } else {
+                            resend.push(object);
+                        }
+                    }
+                }
+            }
+            for object in resend {
+                let query = self.floods[&token].query;
+                self.send_probe(token, object, query)?;
+            }
+            if !abandon.is_empty() {
+                // Give up on unreachable objects so the flood terminates;
+                // the driver's fresh-token retry is the outer safety net.
+                if let Some(flood) = self.floods.get_mut(&token) {
+                    for object in abandon {
+                        flood.outstanding.remove(&object);
+                    }
+                }
+                self.pump_flood(token)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn send_probe(
+        &mut self,
+        token: u64,
+        object: u64,
+        query: WireQuery,
+    ) -> Result<(), ClusterError> {
+        let peer = host_of(object, self.hosts);
+        let mut frame = Vec::new();
+        WireMsg::FloodProbe {
+            token,
+            object,
+            query,
+        }
+        .encode(self.peer, object, &mut frame)
+        .expect("probe is tiny");
+        self.t.send(peer, &frame)?;
+        Ok(())
+    }
+
+    fn handle_frame(&mut self, frame: &[u8]) -> Result<(), ClusterError> {
+        let Ok((header, msg)) = WireMsg::decode(frame) else {
+            return Ok(()); // malformed payload: drop (headers were checked by the transport)
+        };
+        match msg {
+            WireMsg::Hello => {}
+            WireMsg::ViewUpdate {
+                object,
+                seq,
+                coords,
+                routing,
+                vn,
+                cell,
+            } => {
+                let stale = self
+                    .objects
+                    .get(&object)
+                    .map(|h| h.seq >= seq)
+                    .unwrap_or(false);
+                if !stale {
+                    self.objects.insert(
+                        object,
+                        Hosted {
+                            seq,
+                            coords,
+                            routing: routing.to_vec(),
+                            vn: vn.to_vec(),
+                            cell: cell.to_vec(),
+                        },
+                    );
+                }
+                self.reply(header.from, WireMsg::ViewAck { object, seq })?;
+            }
+            WireMsg::Evict { object, seq } => {
+                if self
+                    .objects
+                    .get(&object)
+                    .map(|h| h.seq < seq)
+                    .unwrap_or(false)
+                {
+                    self.objects.remove(&object);
+                }
+                self.reply(header.from, WireMsg::EvictAck { object, seq })?;
+            }
+            WireMsg::RouteReq {
+                token,
+                from_object,
+                target,
+            } => {
+                if self.objects.contains_key(&from_object) {
+                    self.ops_served += 1;
+                    self.route_step(
+                        from_object,
+                        target,
+                        header.from,
+                        0,
+                        WirePurpose::Query { token },
+                    )?;
+                }
+            }
+            WireMsg::AreaReq {
+                token,
+                from_object,
+                rect,
+            } => {
+                if self.objects.contains_key(&from_object) {
+                    self.ops_served += 1;
+                    self.route_step(
+                        from_object,
+                        rect.center(),
+                        header.from,
+                        0,
+                        WirePurpose::Area { rect, token },
+                    )?;
+                }
+            }
+            WireMsg::RadiusReq {
+                token,
+                from_object,
+                center,
+                radius,
+            } => {
+                if self.objects.contains_key(&from_object) {
+                    self.ops_served += 1;
+                    self.route_step(
+                        from_object,
+                        center,
+                        header.from,
+                        0,
+                        WirePurpose::Radius {
+                            center,
+                            radius,
+                            token,
+                        },
+                    )?;
+                }
+            }
+            WireMsg::RouteStep {
+                target,
+                origin,
+                hops,
+                purpose,
+            } => {
+                // The destination object travels in the frame header,
+                // exactly as in the simulated runtime's envelopes.
+                if self.objects.contains_key(&header.to) {
+                    self.ops_served += 1;
+                    self.route_step(header.to, target, origin, hops, purpose)?;
+                }
+            }
+            WireMsg::FloodProbe {
+                token,
+                object,
+                query,
+            } => {
+                self.ops_served += 1;
+                let (eligible, is_match, neighbours) = match self.objects.get(&object) {
+                    Some(h) => {
+                        let (eligible, is_match) = h.evaluate(&query);
+                        (eligible, is_match, h.vn.clone())
+                    }
+                    None => (false, false, Vec::new()),
+                };
+                let mut scratch = Vec::new();
+                let mut frame = Vec::new();
+                WireMsg::FloodReply {
+                    token,
+                    object,
+                    eligible,
+                    is_match,
+                    neighbours: IdList::build(&mut scratch, &neighbours),
+                }
+                .encode(self.peer, header.from, &mut frame)
+                .expect("bounded-degree neighbour list fits a frame");
+                self.t.send(header.from, &frame)?;
+            }
+            WireMsg::FloodReply {
+                token,
+                object,
+                eligible,
+                is_match,
+                neighbours,
+            } => {
+                // A reply for an unknown token belongs to an abandoned
+                // flood; one whose probe is no longer outstanding is a
+                // duplicate from a retransmission.  Both are ignored.
+                let incorporated = self.floods.get_mut(&token).is_some_and(|flood| {
+                    let fresh = flood.outstanding.remove(&object).is_some();
+                    if fresh {
+                        incorporate(flood, object, eligible, is_match, &neighbours.to_vec());
+                    }
+                    fresh
+                });
+                if incorporated {
+                    self.pump_flood(token)?;
+                }
+            }
+            WireMsg::StatsReq => {
+                self.reply(
+                    header.from,
+                    WireMsg::StatsReply {
+                        stats: self.t.stats(),
+                        ops_served: self.ops_served,
+                    },
+                )?;
+            }
+            WireMsg::Shutdown => self.shutdown = true,
+            // Driver-bound or simulated-runtime-only messages: not ours.
+            WireMsg::ViewAck { .. }
+            | WireMsg::EvictAck { .. }
+            | WireMsg::AnswerOwner { .. }
+            | WireMsg::AnswerMatches { .. }
+            | WireMsg::StatsReply { .. }
+            | WireMsg::Join { .. }
+            | WireMsg::NeighborUpdate
+            | WireMsg::Leave
+            | WireMsg::Ping { .. }
+            | WireMsg::Answer { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn reply(&mut self, to: PeerId, msg: WireMsg<'_>) -> Result<(), ClusterError> {
+        let mut frame = Vec::new();
+        msg.encode(self.peer, to, &mut frame)
+            .expect("replies fit a frame");
+        self.t.send(to, &frame)?;
+        Ok(())
+    }
+
+    /// The greedy walk over shipped routing tables: hops within this
+    /// host advance locally; a hop to an object hosted elsewhere becomes
+    /// a [`WireMsg::RouteStep`] frame.  Mirrors
+    /// `core::runtime::AsyncOverlay::route_step` decision for decision.
+    fn route_step(
+        &mut self,
+        at: u64,
+        target: Point2,
+        origin: PeerId,
+        hops: u32,
+        purpose: WirePurpose,
+    ) -> Result<(), ClusterError> {
+        let mut cur = at;
+        let mut hops = hops;
+        loop {
+            let Some(state) = self.objects.get(&cur) else {
+                return Ok(()); // stale routing entry: the driver will retry
+            };
+            let cur_d = state.coords.distance2(target);
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for &(nb, coords) in &state.routing {
+                if nb == cur {
+                    continue;
+                }
+                let d = coords.distance2(target);
+                if d < best_d {
+                    best = nb;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                return self.arrive(cur, origin, hops, purpose);
+            }
+            hops += 1;
+            if host_of(best, self.hosts) == self.peer {
+                cur = best;
+                continue;
+            }
+            let mut frame = Vec::new();
+            WireMsg::RouteStep {
+                target,
+                origin,
+                hops,
+                purpose,
+            }
+            .encode(cur, best, &mut frame)
+            .expect("route step is tiny");
+            self.t.send(host_of(best, self.hosts), &frame)?;
+            return Ok(());
+        }
+    }
+
+    /// The greedy walk arrived: answer a point route, or become the
+    /// flood coordinator of an area/radius query.
+    fn arrive(
+        &mut self,
+        owner: u64,
+        origin: PeerId,
+        hops: u32,
+        purpose: WirePurpose,
+    ) -> Result<(), ClusterError> {
+        match purpose {
+            WirePurpose::Query { token } => {
+                self.reply(origin, WireMsg::AnswerOwner { token, owner, hops })
+            }
+            WirePurpose::Area { rect, token } => {
+                self.start_flood(token, origin, hops, owner, WireQuery::Rect(rect))
+            }
+            WirePurpose::Radius {
+                center,
+                radius,
+                token,
+            } => self.start_flood(
+                token,
+                origin,
+                hops,
+                owner,
+                WireQuery::Disk { center, radius },
+            ),
+            // Distributed joins are driver-side in this cluster.
+            WirePurpose::Join { .. } => Ok(()),
+        }
+    }
+
+    fn start_flood(
+        &mut self,
+        token: u64,
+        origin: PeerId,
+        hops: u32,
+        owner: u64,
+        query: WireQuery,
+    ) -> Result<(), ClusterError> {
+        let mut visited = BTreeSet::new();
+        visited.insert(owner);
+        self.floods.insert(
+            token,
+            Flood {
+                origin,
+                hops,
+                query,
+                visited,
+                matches: Vec::new(),
+                frontier: vec![owner],
+                outstanding: HashMap::new(),
+            },
+        );
+        self.pump_flood(token)
+    }
+
+    /// Drains the flood frontier: locally hosted objects are evaluated
+    /// in place, remote ones get a probe.  When frontier and outstanding
+    /// probes are both empty the flood is done and the answer goes back
+    /// to the driver.
+    fn pump_flood(&mut self, token: u64) -> Result<(), ClusterError> {
+        loop {
+            let Some(flood) = self.floods.get_mut(&token) else {
+                return Ok(());
+            };
+            let Some(object) = flood.frontier.pop() else {
+                break;
+            };
+            match self.objects.get(&object) {
+                Some(h) => {
+                    let (eligible, is_match) = h.evaluate(&flood.query);
+                    let neighbours = h.vn.clone();
+                    incorporate(flood, object, eligible, is_match, &neighbours);
+                }
+                None => {
+                    let query = flood.query;
+                    flood.outstanding.insert(
+                        object,
+                        ProbeState {
+                            sent_at: Instant::now(),
+                            attempts: 0,
+                        },
+                    );
+                    self.send_probe(token, object, query)?;
+                }
+            }
+        }
+        let done = self
+            .floods
+            .get(&token)
+            .map(|f| f.outstanding.is_empty())
+            .unwrap_or(false);
+        if done {
+            let mut flood = self.floods.remove(&token).expect("checked above");
+            flood.matches.sort_unstable();
+            let mut scratch = Vec::new();
+            let mut frame = Vec::new();
+            WireMsg::AnswerMatches {
+                token,
+                hops: flood.hops,
+                visited: flood.visited.len() as u32,
+                matches: IdList::build(&mut scratch, &flood.matches),
+            }
+            .encode(self.peer, flood.origin, &mut frame)
+            .expect("match sets of local floods fit a frame");
+            self.t.send(flood.origin, &frame)?;
+        }
+        Ok(())
+    }
+}
+
+/// Records one evaluated flood object, expanding through it when its
+/// cell touches the queried area — the exact visit rule of
+/// `core::queries::area_query_in`.
+fn incorporate(flood: &mut Flood, object: u64, eligible: bool, is_match: bool, neighbours: &[u64]) {
+    if is_match {
+        flood.matches.push(object);
+    }
+    if !eligible {
+        return;
+    }
+    for &n in neighbours {
+        if flood.visited.insert(n) {
+            flood.frontier.push(n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process cluster over vnet
+// ---------------------------------------------------------------------
+
+/// A whole cluster in one process: the driver on the calling thread and
+/// every host on its own thread, all over one [`crate::vnet::VnetHub`].
+/// The in-process twin of the multi-process `voronet-node` deployment —
+/// used by its `demo` subcommand and the conformance tests.
+pub struct LocalCluster {
+    driver: Driver<crate::vnet::VnetTransport>,
+    handles: Vec<std::thread::JoinHandle<HostReport>>,
+}
+
+impl LocalCluster {
+    /// Starts `hosts` host threads on a hub with the given network model
+    /// (use [`voronet_sim::NetworkModel::ideal`] for a lossless cluster;
+    /// the ack/retry machinery tolerates lossy models at the cost of
+    /// wall-clock time).
+    pub fn start(hosts: u64, config: VoroNetConfig, network: voronet_sim::NetworkModel) -> Self {
+        let hub = crate::vnet::VnetHub::new(network);
+        let driver = Driver::new(hub.endpoint(DRIVER_PEER), hosts, config);
+        let mut handles = Vec::new();
+        for peer in 1..=hosts {
+            let endpoint = hub.endpoint(peer);
+            handles.push(std::thread::spawn(move || {
+                let mut node = HostNode::new(endpoint, peer, hosts);
+                node.run().expect("vnet transport cannot fail");
+                HostReport {
+                    peer,
+                    stats: node.transport_stats(),
+                    ops_served: node.ops_served(),
+                }
+            }));
+        }
+        LocalCluster { driver, handles }
+    }
+
+    /// The cluster's driver.
+    pub fn driver(&mut self) -> &mut Driver<crate::vnet::VnetTransport> {
+        &mut self.driver
+    }
+
+    /// Shuts the hosts down and returns their final reports.
+    pub fn shutdown(mut self) -> Result<Vec<HostReport>, ClusterError> {
+        self.driver.shutdown_hosts()?;
+        let mut reports = Vec::new();
+        for handle in self.handles {
+            reports.push(handle.join().expect("host thread panicked"));
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use voronet_core::queries;
+    use voronet_geom::Rect;
+    use voronet_sim::NetworkModel;
+    use voronet_workloads::{Distribution, PointGenerator};
+
+    fn oracle_with_inserts(seed: u64, points: &[Point2]) -> VoroNet {
+        let mut net = VoroNet::new(VoroNetConfig::new(512).with_seed(seed));
+        for &p in points {
+            let _ = net.insert(p);
+        }
+        net
+    }
+
+    #[test]
+    fn distributed_routes_match_the_single_process_oracle() {
+        let points = PointGenerator::new(Distribution::Uniform, 11).take_points(60);
+        let mut cluster = LocalCluster::start(
+            3,
+            VoroNetConfig::new(512).with_seed(4),
+            NetworkModel::ideal(),
+        );
+        for &p in &points {
+            cluster.driver().insert(p).unwrap();
+        }
+        let mut oracle = oracle_with_inserts(4, &points);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let n = oracle.len();
+            let from = rng.random_range(0..n);
+            let to = rng.random_range(0..n);
+            let outcome = cluster.driver().route_indices(from, to).unwrap();
+            let a = oracle.id_at(from).unwrap();
+            let b = oracle.id_at(to).unwrap();
+            let expected = oracle.route_between(a, b).unwrap();
+            assert_eq!(
+                outcome,
+                OpOutcome::Route {
+                    owner: expected.owner.0,
+                    hops: expected.hops
+                },
+                "route {from}->{to}"
+            );
+        }
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn distributed_queries_match_the_single_process_oracle() {
+        let points = PointGenerator::new(Distribution::Uniform, 13).take_points(80);
+        let mut cluster = LocalCluster::start(
+            4,
+            VoroNetConfig::new(512).with_seed(6),
+            NetworkModel::ideal(),
+        );
+        for &p in &points {
+            cluster.driver().insert(p).unwrap();
+        }
+        let mut oracle = oracle_with_inserts(6, &points);
+        let rects = [
+            Rect::new(Point2::new(0.2, 0.3), Point2::new(0.5, 0.6)),
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(0.15, 0.15)),
+            Rect::new(Point2::new(0.4, 0.4), Point2::new(0.42, 0.42)),
+        ];
+        for (i, &rect) in rects.iter().enumerate() {
+            let outcome = cluster
+                .driver()
+                .range_query(i * 7, RangeQuery { rect })
+                .unwrap();
+            let from = oracle.id_at(i * 7 % oracle.len()).unwrap();
+            let expected = queries::range_query(&mut oracle, from, RangeQuery { rect }).unwrap();
+            assert_eq!(
+                outcome,
+                OpOutcome::Matches {
+                    matches: expected.matches.iter().map(|m| m.0).collect(),
+                    hops: expected.routing_hops,
+                    visited: expected.visited as u32,
+                },
+                "rect {rect:?}"
+            );
+        }
+        for i in 0..3 {
+            let query = RadiusQuery {
+                center: Point2::new(0.3 + 0.2 * i as f64, 0.5),
+                radius: 0.12,
+            };
+            let outcome = cluster.driver().radius_query(i * 5, query).unwrap();
+            let from = oracle.id_at(i * 5 % oracle.len()).unwrap();
+            let expected = queries::radius_query(&mut oracle, from, query).unwrap();
+            assert_eq!(
+                outcome,
+                OpOutcome::Matches {
+                    matches: expected.matches.iter().map(|m| m.0).collect(),
+                    hops: expected.routing_hops,
+                    visited: expected.visited as u32,
+                },
+                "disk {query:?}"
+            );
+        }
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn churn_keeps_the_cluster_in_lockstep_with_the_oracle() {
+        let mut cluster = LocalCluster::start(
+            3,
+            VoroNetConfig::new(512).with_seed(8),
+            NetworkModel::ideal(),
+        );
+        let mut oracle = VoroNet::new(VoroNetConfig::new(512).with_seed(8));
+        let mut pg = PointGenerator::new(Distribution::Uniform, 17);
+        for _ in 0..30 {
+            let p = pg.next_point();
+            cluster.driver().insert(p).unwrap();
+            let _ = oracle.insert(p);
+        }
+        let mut rng = StdRng::seed_from_u64(21);
+        for round in 0..25 {
+            match rng.random_range(0..3u32) {
+                0 => {
+                    let p = pg.next_point();
+                    let got = cluster.driver().insert(p).unwrap();
+                    let expected = oracle.insert(p).ok().map(|r| r.id.0);
+                    assert_eq!(got, expected, "round {round} insert");
+                }
+                1 if oracle.len() > 8 => {
+                    let idx = rng.random_range(0..oracle.len());
+                    let got = cluster.driver().remove_index(idx).unwrap();
+                    let id = oracle.id_at(idx).unwrap();
+                    let expected = oracle.remove(id).ok().map(|_| id.0);
+                    assert_eq!(got, expected, "round {round} remove");
+                }
+                _ => {
+                    let n = oracle.len();
+                    let from = rng.random_range(0..n);
+                    let to = rng.random_range(0..n);
+                    let outcome = cluster.driver().route_indices(from, to).unwrap();
+                    let a = oracle.id_at(from).unwrap();
+                    let b = oracle.id_at(to).unwrap();
+                    let expected = oracle.route_between(a, b).unwrap();
+                    assert_eq!(
+                        outcome,
+                        OpOutcome::Route {
+                            owner: expected.owner.0,
+                            hops: expected.hops
+                        },
+                        "round {round} route"
+                    );
+                }
+            }
+        }
+        let reports = cluster.shutdown().unwrap();
+        assert!(reports.iter().any(|r| r.ops_served > 0));
+    }
+
+    #[test]
+    fn host_mapping_covers_every_host() {
+        let peers: BTreeSet<PeerId> = (0..100).map(|id| host_of(id, 7)).collect();
+        assert_eq!(peers, (1..=7).collect());
+        assert_eq!(host_of(5, 0), 1); // degenerate guard: max(1)
+    }
+}

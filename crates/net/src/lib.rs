@@ -1,0 +1,48 @@
+//! Wire protocol and pluggable transports: the deployable face of the
+//! VoroNet overlay (Beaumont, Kermarrec, Marchal, Rivière — IPDPS'07).
+//!
+//! Everything below `core` speaks [`ProtocolMsg`](voronet_core::ProtocolMsg)
+//! values through a simulated scheduler.  This crate gives those messages a
+//! concrete byte representation and moves them over real sockets:
+//!
+//! * [`frame`] — the versioned frame header, decode errors and the
+//!   bounds-checked reader every payload parser is built on.
+//! * [`wire`] — the message codec: [`wire::WireMsg`] encodes into
+//!   compact frames and decodes into zero-copy borrowed views, totally
+//!   (typed errors, never panics).
+//! * [`transport`] — the pluggable [`transport::Transport`] contract:
+//!   datagram semantics, loss counted rather than surfaced.
+//! * [`vnet`] — the deterministic in-memory transport wrapping
+//!   [`NetworkModel`](voronet_sim::NetworkModel): same seed, same drops,
+//!   same order, same stats.
+//! * [`udp`] / [`tcp`] — real loopback/LAN transports over std sockets
+//!   (one frame per datagram; length-delimited streams with reconnect).
+//! * [`tap`] — [`tap::CodecTap`] round-trips the simulated runtime's
+//!   messages through the codec, proving transparency.
+//! * [`cluster`] — a driver + hosts deployment speaking the wire protocol
+//!   over any transport, conformant with the single-process engines.
+//!
+//! The `voronet-node` binary (crate `crates/node`) builds on [`cluster`]
+//! to run a live overlay over localhost sockets.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod frame;
+pub mod tap;
+pub mod tcp;
+pub mod transport;
+pub mod udp;
+pub mod vnet;
+pub mod wire;
+
+pub use cluster::{
+    host_of, ClusterError, Driver, HostNode, HostReport, LocalCluster, OpOutcome, DRIVER_PEER,
+};
+pub use frame::{DecodeError, FrameHeader, HEADER_LEN, MAGIC, MAX_FRAME_LEN, WIRE_VERSION};
+pub use tap::CodecTap;
+pub use tcp::TcpTransport;
+pub use transport::{PeerId, Transport, TransportError};
+pub use udp::UdpTransport;
+pub use vnet::{VnetHub, VnetTransport};
+pub use wire::{EncodeError, EntryList, IdList, PointList, WireMsg, WirePurpose, WireQuery};

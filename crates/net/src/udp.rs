@@ -1,0 +1,197 @@
+//! UDP transport: one frame per datagram over a non-blocking std socket.
+//!
+//! The frame budget ([`MAX_FRAME_LEN`]) is the classical loopback
+//! datagram limit, so every wire frame fits in exactly one datagram and
+//! reassembly is unnecessary.  Incoming datagrams are identified by the
+//! `from` field of their frame header (peers are registered, so source
+//! addresses need no reverse lookup); datagrams whose header fails to
+//! decode are dropped and counted.  A send that the kernel refuses with
+//! `WouldBlock` (full socket buffer) is counted as loss — the protocols
+//! above retry with fresh tokens, exactly as they would after real loss.
+
+use crate::frame::{FrameHeader, MAX_FRAME_LEN};
+use crate::transport::{PeerId, Transport, TransportError};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+use voronet_sim::TransportStats;
+
+/// A [`Transport`] over one non-blocking UDP socket.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peer: PeerId,
+    peers: HashMap<PeerId, SocketAddr>,
+    stats: TransportStats,
+    scratch: Box<[u8; MAX_FRAME_LEN]>,
+}
+
+impl UdpTransport {
+    /// Binds `addr` (e.g. `"127.0.0.1:7100"`) as peer `peer`.
+    pub fn bind(peer: PeerId, addr: &str) -> Result<Self, TransportError> {
+        let socket = UdpSocket::bind(addr).map_err(|e| match e.kind() {
+            ErrorKind::InvalidInput => TransportError::BadAddress(addr.to_string()),
+            _ => TransportError::Io(e),
+        })?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpTransport {
+            socket,
+            peer,
+            peers: HashMap::new(),
+            stats: TransportStats::new(),
+            scratch: Box::new([0u8; MAX_FRAME_LEN]),
+        })
+    }
+
+    /// The local socket address (useful when bound to port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.socket.local_addr()?)
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_peer(&self) -> PeerId {
+        self.peer
+    }
+
+    fn register(&mut self, peer: PeerId, addr: &str) -> Result<(), TransportError> {
+        let addr: SocketAddr = addr
+            .parse()
+            .map_err(|_| TransportError::BadAddress(addr.to_string()))?;
+        self.peers.insert(peer, addr);
+        Ok(())
+    }
+
+    fn send(&mut self, to: PeerId, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.len() > MAX_FRAME_LEN {
+            self.stats.oversized += 1;
+            return Err(TransportError::Oversized { len: frame.len() });
+        }
+        let addr = *self.peers.get(&to).ok_or(TransportError::UnknownPeer(to))?;
+        self.stats.frames_sent += 1;
+        match self.socket.send_to(frame, addr) {
+            Ok(_) => Ok(()),
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::ConnectionRefused =>
+            {
+                // Full socket buffer, or a queued ICMP port-unreachable
+                // from a peer that was not up yet (Linux surfaces those on
+                // later calls even for unconnected sockets): the datagram
+                // is gone, like loss.  The protocols above retry.
+                self.stats.dropped_loss += 1;
+                Ok(())
+            }
+            Err(e) => Err(TransportError::Io(e)),
+        }
+    }
+
+    fn poll(&mut self) -> Result<(), TransportError> {
+        // Datagrams queue in the kernel; nothing to pump.  Sleep briefly
+        // so idle serve loops do not spin a core.
+        std::thread::sleep(Duration::from_micros(200));
+        Ok(())
+    }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> Result<Option<PeerId>, TransportError> {
+        loop {
+            match self.socket.recv_from(&mut self.scratch[..]) {
+                Ok((n, _)) => match FrameHeader::decode(&self.scratch[..n]) {
+                    Ok(header) => {
+                        self.stats.frames_delivered += 1;
+                        buf.clear();
+                        buf.extend_from_slice(&self.scratch[..n]);
+                        return Ok(Some(header.from));
+                    }
+                    Err(_) => {
+                        // Not one of ours; count and keep draining.
+                        self.stats.decode_errors += 1;
+                    }
+                },
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                // A queued ICMP error for an earlier send: already counted
+                // (or about to be) as loss on the send side; keep draining.
+                Err(e) if e.kind() == ErrorKind::ConnectionRefused => continue,
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireMsg;
+
+    fn pair() -> (UdpTransport, UdpTransport) {
+        let mut a = UdpTransport::bind(1, "127.0.0.1:0").unwrap();
+        let mut b = UdpTransport::bind(2, "127.0.0.1:0").unwrap();
+        let addr_a = a.local_addr().unwrap().to_string();
+        let addr_b = b.local_addr().unwrap().to_string();
+        a.register(2, &addr_b).unwrap();
+        b.register(1, &addr_a).unwrap();
+        (a, b)
+    }
+
+    fn recv_one(t: &mut UdpTransport) -> (PeerId, Vec<u8>) {
+        let mut buf = Vec::new();
+        for _ in 0..10_000 {
+            if let Some(from) = t.recv_into(&mut buf).unwrap() {
+                return (from, buf);
+            }
+            t.poll().unwrap();
+        }
+        panic!("no datagram arrived on loopback");
+    }
+
+    #[test]
+    fn frames_cross_the_loopback() {
+        let (mut a, mut b) = pair();
+        let mut frame = Vec::new();
+        WireMsg::Ping { reply: false }
+            .encode(1, 2, &mut frame)
+            .unwrap();
+        a.send(2, &frame).unwrap();
+        let (from, got) = recv_one(&mut b);
+        assert_eq!(from, 1);
+        assert_eq!(got, frame);
+        let (_, msg) = WireMsg::decode(&got).unwrap();
+        assert_eq!(msg, WireMsg::Ping { reply: false });
+        assert_eq!(a.stats().frames_sent, 1);
+        assert_eq!(b.stats().frames_delivered, 1);
+    }
+
+    #[test]
+    fn garbage_datagrams_count_as_decode_errors() {
+        let (mut a, mut b) = pair();
+        // Raw socket bytes that are not a frame.
+        let addr_b = b.local_addr().unwrap();
+        a.socket.send_to(b"definitely not a frame", addr_b).unwrap();
+        let mut frame = Vec::new();
+        WireMsg::Shutdown.encode(1, 2, &mut frame).unwrap();
+        a.send(2, &frame).unwrap();
+        let (from, _) = recv_one(&mut b);
+        assert_eq!(from, 1);
+        assert_eq!(b.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn unknown_peer_and_oversized_are_errors() {
+        let (mut a, _b) = pair();
+        assert!(matches!(
+            a.send(42, &[0u8; 4]),
+            Err(TransportError::UnknownPeer(42))
+        ));
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            a.send(2, &big),
+            Err(TransportError::Oversized { .. })
+        ));
+        assert_eq!(a.stats().oversized, 1);
+    }
+}

@@ -29,7 +29,7 @@ pub mod runtime;
 pub mod scenario;
 
 pub use event::{EventHandle, EventQueue, SimTime};
-pub use metrics::{MessageKind, NodeId, RouteStats, TrafficStats};
+pub use metrics::{MessageKind, NodeId, RouteStats, TrafficStats, TransportStats};
 pub use network::{Delivery, LatencyModel, NetworkModel, PartitionWindow};
 pub use runtime::{Delivered, DeliveryStats, Envelope, Runtime};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioOp};

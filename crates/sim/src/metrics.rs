@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Identifier of a simulated node (the physical host of an object).
 pub type NodeId = u64;
@@ -122,6 +123,77 @@ impl TrafficStats {
         self.per_kind.clear();
         self.per_node_sent.clear();
         self.total = 0;
+    }
+}
+
+/// Transport-level health counters, shared by every `Transport`
+/// implementation of `voronet-net` (the deterministic vnet simulator, UDP
+/// and TCP) and surfaced in the `voronet-node` stats line.
+///
+/// Lossy-path tests assert on these counters instead of on silence: a
+/// dropped frame, a dead-lettered delivery or a TCP reconnect always
+/// leaves a trace here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Frames submitted for transmission.
+    pub frames_sent: u64,
+    /// Frames handed to the receiving endpoint.
+    pub frames_delivered: u64,
+    /// Frames dropped by iid loss (vnet) or a failed socket send.
+    pub dropped_loss: u64,
+    /// Frames dropped by an active partition window (vnet only).
+    pub dropped_partition: u64,
+    /// Frames that arrived for a departed / unknown destination.
+    pub dead_letters: u64,
+    /// Frames rejected because they exceeded the transport's frame budget.
+    pub oversized: u64,
+    /// Frames whose header failed to decode on arrival.
+    pub decode_errors: u64,
+    /// Connection re-establishment attempts (TCP only).
+    pub reconnects: u64,
+}
+
+impl TransportStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frames lost for any reason (loss, partition, oversize, dead
+    /// letters): the quantity lossy-path tests bound from below.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.oversized + self.dead_letters
+    }
+
+    /// Merges another set of counters into this one (e.g. aggregating the
+    /// per-host stats of a cluster).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_delivered += other.frames_delivered;
+        self.dropped_loss += other.dropped_loss;
+        self.dropped_partition += other.dropped_partition;
+        self.dead_letters += other.dead_letters;
+        self.oversized += other.oversized;
+        self.decode_errors += other.decode_errors;
+        self.reconnects += other.reconnects;
+    }
+}
+
+impl fmt::Display for TransportStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} loss={} partition={} dead={} oversized={} decode_err={} \
+             reconnects={}",
+            self.frames_sent,
+            self.frames_delivered,
+            self.dropped_loss,
+            self.dropped_partition,
+            self.dead_letters,
+            self.oversized,
+            self.decode_errors,
+            self.reconnects
+        )
     }
 }
 

@@ -4,8 +4,13 @@
 //! ```text
 //! fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N]
 //!      [--out DIR] [--replay FILE]... [--no-replay-dir] [--dump-ops FILE]
-//!      [--demo-fault]
+//!      [--demo-fault] [--codec]
 //! ```
+//!
+//! `--codec` runs the standalone wire-codec property pass
+//! ([`voronet_testkit::run_codec_pass`]) instead of differential
+//! fuzzing — round-trip canonicality, truncation/corruption totality —
+//! and exits; the CI `net-smoke` step uses it under `VORONET_SMOKE=1`.
 //!
 //! Default behaviour (the CI `fuzz-smoke` step):
 //!
@@ -41,6 +46,7 @@ struct Args {
     replay_dir: bool,
     dump_ops: Option<PathBuf>,
     demo_fault: bool,
+    codec: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         replay_dir: true,
         dump_ops: None,
         demo_fault: false,
+        codec: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,11 +93,12 @@ fn parse_args() -> Result<Args, String> {
             "--no-replay-dir" => args.replay_dir = false,
             "--dump-ops" => args.dump_ops = Some(PathBuf::from(value("--dump-ops")?)),
             "--demo-fault" => args.demo_fault = true,
+            "--codec" => args.codec = true,
             "--help" | "-h" => {
                 println!(
                     "fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N] \
                      [--out DIR] [--replay FILE]... [--no-replay-dir] [--dump-ops FILE] \
-                     [--demo-fault]"
+                     [--demo-fault] [--codec]"
                 );
                 std::process::exit(0);
             }
@@ -128,6 +136,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // ---- codec pass ---------------------------------------------------
+    if args.codec {
+        // Standalone wire-codec fuzzing (the CI `net-smoke` budget when
+        // VORONET_SMOKE=1): panics with a shrunk frame on failure.
+        let cases = if smoke() { 256 } else { 2_048 } as u64;
+        voronet_testkit::run_codec_pass(cases, args.seed);
+        println!(
+            "codec pass clean ({cases} cases per property from seed {})",
+            args.seed
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let fault = if args.demo_fault {
         Fault::FrozenRouteExtraHop
     } else {

@@ -24,7 +24,10 @@
 //! * [`repro`] — `.ron`-style reproducer files under
 //!   `tests/reproducers/`, written on divergence and replayed by CI;
 //! * [`prop`] — the seeded property-check harness (with input
-//!   shrinking) behind the workspace's property tests.
+//!   shrinking) behind the workspace's property tests;
+//! * [`codec`] — property fuzzing of the `voronet-net` wire codec
+//!   (round-trip canonicality, truncation/corruption totality), run by
+//!   the fuzz binary's `--codec` pass.
 //!
 //! The `fuzz` binary (`cargo run -p voronet-testkit --bin fuzz`) drives
 //! all of it from the command line; `VORONET_SMOKE=1` selects the
@@ -32,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod frozen;
 pub mod grammar;
 pub mod harness;
@@ -40,6 +44,9 @@ pub mod prop;
 pub mod repro;
 pub mod shrink;
 
+pub use codec::{
+    check_corruption, check_roundtrip, check_truncations, random_frame, run_codec_pass,
+};
 pub use frozen::{Fault, FrozenReplay};
 pub use grammar::{generate_case, FuzzCase, FuzzSpec, NetProfile};
 pub use harness::{run_case, Divergence, RunReport};

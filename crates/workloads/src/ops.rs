@@ -103,6 +103,23 @@ impl OpMix {
         }
     }
 
+    /// The deployment-stress mix of the `voronet-node` demo: heavy churn
+    /// (30% inserts, 20% removals) under a routed read load (40% routes,
+    /// 10% area queries).  Pair it with
+    /// [`OpBatchGenerator::with_zipf_destinations`] so the routed traffic
+    /// concentrates on a few popular objects, the access pattern the
+    /// paper's load-balancing analysis assumes (Section 5).
+    pub fn churn_zipf() -> Self {
+        OpMix {
+            insert: 0.30,
+            remove: 0.20,
+            route: 0.40,
+            range: 0.05,
+            radius: 0.05,
+            snapshot: 0.0,
+        }
+    }
+
     /// Reads only: 90% routes, 10% area queries, no churn.  Batches drawn
     /// from this mix contain no write barrier, so an engine with a
     /// parallel read path executes the whole batch as one frozen-snapshot
@@ -154,6 +171,9 @@ pub struct OpBatchGenerator {
     /// Largest relative extent of generated range queries (fraction of the
     /// domain side).
     max_query_extent: f64,
+    /// When set, route destinations are Zipf-skewed over population rank
+    /// with this exponent instead of uniform.
+    zipf_alpha: Option<f64>,
 }
 
 impl OpBatchGenerator {
@@ -170,12 +190,24 @@ impl OpBatchGenerator {
             points: PointGenerator::with_domain(dist, seed ^ 0x9E37, domain),
             queries: QueryGenerator::with_domain(seed ^ 0xA3EA, domain),
             max_query_extent: 0.1,
+            zipf_alpha: None,
         }
     }
 
     /// Sets the largest relative extent of generated range/radius queries.
     pub fn with_max_query_extent(mut self, extent: f64) -> Self {
         self.max_query_extent = extent.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Skews route destinations by a Zipf law over dense population rank:
+    /// the `r`-th object is targeted with probability proportional to
+    /// `1 / (r + 1)^alpha`.  With `alpha = 0` this degenerates to uniform;
+    /// typical web-like skews use `alpha` around 0.8–1.2.  Self-routes are
+    /// deflected to the next rank so a skewed pair still exercises the
+    /// overlay.
+    pub fn with_zipf_destinations(mut self, alpha: f64) -> Self {
+        self.zipf_alpha = Some(alpha.max(0.0));
         self
     }
 
@@ -236,11 +268,37 @@ impl OpBatchGenerator {
 
     fn route_op(&mut self, pop: usize) -> WorkloadOp {
         if pop < 2 {
-            WorkloadOp::Route { from: 0, to: 0 }
-        } else {
-            let (from, to) = self.queries.object_pair(pop);
-            WorkloadOp::Route { from, to }
+            return WorkloadOp::Route { from: 0, to: 0 };
         }
+        match self.zipf_alpha {
+            None => {
+                let (from, to) = self.queries.object_pair(pop);
+                WorkloadOp::Route { from, to }
+            }
+            Some(alpha) => {
+                let from = self.rng.random_range(0..pop);
+                let mut to = self.zipf_rank(pop, alpha);
+                if to == from {
+                    to = (to + 1) % pop;
+                }
+                WorkloadOp::Route { from, to }
+            }
+        }
+    }
+
+    /// Draws a population rank with probability proportional to
+    /// `1 / (rank + 1)^alpha` (inverse-CDF walk over the partial harmonic
+    /// sum; O(pop), fine at workload-generation scale).
+    fn zipf_rank(&mut self, pop: usize, alpha: f64) -> usize {
+        let h: f64 = (1..=pop).map(|r| (r as f64).powf(-alpha)).sum();
+        let mut u = self.rng.random::<f64>() * h;
+        for r in 0..pop {
+            u -= ((r + 1) as f64).powf(-alpha);
+            if u <= 0.0 {
+                return r;
+            }
+        }
+        pop - 1
     }
 }
 
@@ -275,6 +333,51 @@ mod tests {
             .count();
         assert!((1_400..=1_800).contains(&routes), "routes {routes}");
         assert!((100..=300).contains(&inserts), "inserts {inserts}");
+    }
+
+    #[test]
+    fn zipf_destinations_concentrate_on_low_ranks() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 5, OpMix::routes_only())
+            .with_zipf_destinations(1.0);
+        let pop = 100;
+        let batch = g.batch(pop, 4_000);
+        let mut hits = vec![0usize; pop];
+        let mut self_routes = 0usize;
+        for op in &batch {
+            if let WorkloadOp::Route { from, to } = *op {
+                hits[to] += 1;
+                if from == to {
+                    self_routes += 1;
+                }
+            }
+        }
+        assert_eq!(self_routes, 0, "self-routes are deflected");
+        let head: usize = hits[..10].iter().sum();
+        let tail: usize = hits[90..].iter().sum();
+        // With alpha=1 over 100 ranks the top decile carries ~56% of the
+        // mass and the bottom decile ~2%; leave wide sampling slack.
+        assert!(head > 10 * tail, "head {head} tail {tail}");
+        // Determinism holds with the skew enabled.
+        let mut g2 = OpBatchGenerator::new(Distribution::Uniform, 5, OpMix::routes_only())
+            .with_zipf_destinations(1.0);
+        assert_eq!(batch, g2.batch(pop, 4_000));
+    }
+
+    #[test]
+    fn churn_zipf_mix_scripts_heavy_churn() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 11, OpMix::churn_zipf())
+            .with_zipf_destinations(1.0);
+        let batch = g.batch(200, 2_000);
+        let inserts = batch
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Insert { .. }))
+            .count();
+        let removes = batch
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Remove { .. }))
+            .count();
+        assert!((450..=750).contains(&inserts), "inserts {inserts}");
+        assert!((250..=550).contains(&removes), "removes {removes}");
     }
 
     #[test]

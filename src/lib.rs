@@ -16,6 +16,7 @@
 //! | [`smallworld`] | Kleinberg grid baseline |
 //! | [`core`] | the VoroNet overlay itself, plus its message-driven execution |
 //! | [`api`] | the backend-agnostic [`Overlay`](api::Overlay) trait, batched ops, `OverlayBuilder`, unified errors |
+//! | [`net`] | the wire codec, pluggable transports (vnet/UDP/TCP) and the driver/host cluster behind `voronet-node` |
 //! | `voronet-testkit` | differential oracle fuzzing of every engine, shrinking reproducers (dev-only, not re-exported) |
 //!
 //! Applications program against the [`api::Overlay`] trait and pick an
@@ -45,6 +46,7 @@
 pub use voronet_api as api;
 pub use voronet_core as core;
 pub use voronet_geom as geom;
+pub use voronet_net as net;
 pub use voronet_sim as sim;
 pub use voronet_smallworld as smallworld;
 pub use voronet_stats as stats;

@@ -377,3 +377,104 @@ fn lossy_async_engine_reports_lost_operations() {
     assert!(route_lost > 0, "lossy routes must sometimes be lost");
     net.verify_invariants().unwrap();
 }
+
+/// The real wire codec is transparent to the simulated path: an
+/// `AsyncEngine` whose runtime round-trips every protocol message
+/// through `voronet-net`'s frame codec (encode → bytes → decode) is
+/// bit-identical to the plain engine — element-wise batch results,
+/// populations and traffic accounting — on ideal *and* lossy networks,
+/// because the tap changes the payload representation only, never the
+/// delivery decisions of the scheduler.
+#[test]
+fn codec_tapped_async_engine_is_bit_identical() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use voronet::core::{ProtocolMsg, WireTap};
+    use voronet::net::CodecTap;
+    use voronet::sim::{LatencyModel, MessageKind, NetworkModel, NodeId};
+
+    /// A [`CodecTap`] that additionally counts frames into a shared
+    /// counter the test can read after the engine is consumed.
+    #[derive(Clone)]
+    struct CountingTap {
+        inner: CodecTap,
+        frames: Arc<AtomicU64>,
+    }
+
+    impl WireTap for CountingTap {
+        fn roundtrip(
+            &mut self,
+            from: NodeId,
+            to: NodeId,
+            kind: MessageKind,
+            msg: ProtocolMsg,
+        ) -> ProtocolMsg {
+            self.frames.fetch_add(1, Ordering::Relaxed);
+            self.inner.roundtrip(from, to, kind, msg)
+        }
+
+        fn clone_box(&self) -> Box<dyn WireTap> {
+            Box::new(self.clone())
+        }
+    }
+
+    let networks = [
+        NetworkModel::ideal(),
+        NetworkModel::new(7, LatencyModel::Uniform { min: 1, max: 10 }).with_loss(0.35),
+    ];
+    for network in networks {
+        let frames = Arc::new(AtomicU64::new(0));
+        let build = |tap: Option<Box<dyn WireTap>>| {
+            let mut engine = OverlayBuilder::new(NMAX)
+                .seed(SEED)
+                .network(network.clone())
+                .build_async();
+            if let Some(tap) = tap {
+                engine.overlay_mut().set_wire_tap(tap);
+            }
+            engine
+        };
+        let mut plain = build(None);
+        let mut tapped = build(Some(Box::new(CountingTap {
+            inner: CodecTap::new(),
+            frames: Arc::clone(&frames),
+        })));
+
+        // Same script on both: inserts (losses included), then a mixed
+        // churn/route/query batch.
+        let mut points = PointGenerator::new(Distribution::Uniform, 91);
+        for _ in 0..140 {
+            let p = points.next_point();
+            let a = plain.insert(p);
+            let b = tapped.insert(p);
+            assert_eq!(a.is_ok(), b.is_ok(), "insert outcome at {p:?}");
+            if let (Ok(a), Ok(b)) = (a, b) {
+                assert_eq!(a.id, b.id, "assigned ids");
+            }
+        }
+        assert_eq!(plain.len(), tapped.len());
+
+        let mut gen = OpBatchGenerator::new(Distribution::Uniform, 97, OpMix::default());
+        let script: Vec<WorkloadOp> = gen.batch(plain.len(), 250);
+        let plain_ops = resolve_workload(&plain, &script);
+        let tapped_ops = resolve_workload(&tapped, &script);
+        assert_eq!(plain_ops, tapped_ops, "resolution must agree");
+        let plain_results = plain.apply_batch(&plain_ops);
+        let tapped_results = tapped.apply_batch(&tapped_ops);
+        for (i, (p, t)) in plain_results.iter().zip(&tapped_results).enumerate() {
+            assert_eq!(p, t, "batch op {i} ({:?})", plain_ops[i]);
+        }
+
+        // Identical accounting, down to per-kind message counters.
+        assert_eq!(
+            plain.overlay_mut().traffic(),
+            tapped.overlay_mut().traffic(),
+            "traffic accounting must be bit-identical under the tap"
+        );
+        assert_eq!(plain.stats(), tapped.stats());
+        assert!(
+            frames.load(Ordering::Relaxed) > 0,
+            "the tap must actually have carried frames"
+        );
+    }
+}
