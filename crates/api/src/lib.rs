@@ -60,7 +60,7 @@ pub use ops::{
     InsertOutcome, Op, OpResult, OverlayStats, QueryOutcome, RemoveOutcome, RouteOutcome,
 };
 pub use overlay::Overlay;
-pub use sync_engine::SyncEngine;
+pub use sync_engine::{SyncEngine, ViewMaintenance};
 pub use workload::resolve_workload;
 
 // The error taxonomy lives in `voronet-core` (the overlay itself reports

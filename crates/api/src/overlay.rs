@@ -3,7 +3,7 @@
 use crate::ops::{
     InsertOutcome, Op, OpResult, OverlayStats, QueryOutcome, RemoveOutcome, RouteOutcome,
 };
-use voronet_core::{ErrorKind, ObjectId, ObjectView, VoroNetConfig, VoronetError};
+use voronet_core::{ErrorKind, ObjectId, ObjectView, SnapshotStats, VoroNetConfig, VoronetError};
 use voronet_geom::Point2;
 use voronet_workloads::{RadiusQuery, RangeQuery};
 
@@ -89,6 +89,16 @@ pub trait Overlay {
 
     /// Aggregate engine counters.
     fn stats(&self) -> OverlayStats;
+
+    /// Snapshot-maintenance economics: how the engine kept its frozen
+    /// read views current (reused / delta-patched / rebuilt).  These
+    /// describe the execution strategy, not the protocol, so they live
+    /// outside [`Overlay::stats`] — engines with different view policies
+    /// still agree on protocol counters.  Engines without frozen views
+    /// report the all-zero default.
+    fn snapshot_stats(&self) -> SnapshotStats {
+        SnapshotStats::default()
+    }
 
     /// Verifies the engine's structural invariants (used by tests and
     /// debugging; engines may run the non-exhaustive variant).

@@ -5,39 +5,70 @@
 //!
 //! [`SyncEngine::apply_batch`] splits a batch into maximal runs of
 //! read-only operations ([`Op::is_read_only`]) between write barriers
-//! (inserts/removes).  A large run is executed over a [`FrozenView`] — an
-//! immutable SoA/CSR snapshot of the routing topology — fanned out across
-//! `std::thread::scope` workers.  Each worker computes its contiguous
-//! chunk of operations into a private [`RouteScratch`], accumulating the
-//! message accounting as a [`TrafficAccumulator`]; the main thread then
-//! merges results and accounting **in op order**, so owners, hop counts,
-//! query matches, global traffic stats and per-node sent counters are
-//! bit-identical at any worker count — including one, and including the
-//! pre-parallel sequential path.
+//! (inserts/removes).  Read runs execute over a [`FrozenView`] — an
+//! immutable SoA/CSR snapshot of the routing topology — large ones fanned
+//! out across `std::thread::scope` workers.  Each worker computes its
+//! contiguous chunk of operations into a private [`RouteScratch`],
+//! accumulating the message accounting as a [`TrafficAccumulator`]; the
+//! main thread then merges results and accounting **in op order**, so
+//! owners, hop counts, query matches, global traffic stats and per-node
+//! sent counters are bit-identical at any worker count — including one,
+//! and including the pre-parallel sequential path.
+//!
+//! # Epoch-based view maintenance
+//!
+//! The engine keeps a [`ViewGenerations`] pair (left-right/RCU style)
+//! alive across runs *and* across `apply_batch` calls instead of freezing
+//! per run.  At each read barrier the stale back generation is brought
+//! forward — delta-patched through the overlay's change log in
+//! O(affected neighbourhoods), or rebuilt when the log no longer covers
+//! it — and flipped to the front; when no write happened since the last
+//! run the front is reused for free (the epoch check is one integer
+//! compare).  Under mixed read/write traffic this keeps the ~5× frozen
+//! read path without paying an O(n) freeze at every write barrier;
+//! [`ViewMaintenance::RebuildPerBarrier`] restores the old behaviour as a
+//! benchmark baseline.  Either way results are bit-identical — a patched
+//! view equals a fresh freeze, and both equal the live walk.
 
 use crate::ops::{
     InsertOutcome, Op, OpResult, OverlayStats, QueryOutcome, RemoveOutcome, RouteOutcome,
 };
 use crate::overlay::Overlay;
 use voronet_core::queries::{radius_query, radius_query_in, range_query, range_query_in};
-use voronet_core::snapshot::{FrozenView, RouteScratch, TrafficAccumulator};
+use voronet_core::snapshot::{
+    FrozenView, RouteScratch, SnapshotStats, TrafficAccumulator, ViewGenerations, ViewRefresh,
+};
 use voronet_core::{ObjectId, ObjectView, VoroNet, VoroNetConfig, VoronetError};
 use voronet_geom::Point2;
 use voronet_sim::RouteStats;
 use voronet_workloads::{RadiusQuery, RangeQuery};
 
-/// Read-only runs shorter than this always execute through the plain
-/// per-op path.
+/// Read-only runs shorter than this execute single-threaded (thread
+/// fan-out has per-spawn overhead a handful of ops cannot amortise).
 const FROZEN_MIN_RUN: usize = 32;
 
 /// Freezing the topology costs O(population) (≈ 0.25 µs/node), while each
-/// frozen route saves a few µs over the sequential path — so a run only
-/// pays for its freeze when it is long enough relative to the overlay.
-/// `population / 16` sits about 2× above the measured break-even on a
-/// 10k-node overlay, keeping mid-size batches on the sequential path
-/// instead of regressing them.
+/// frozen route saves a few µs over the sequential path — so the *first*
+/// freeze only pays for itself once enough reads have been seen relative
+/// to the overlay.  `population / 16` sits about 2× above the measured
+/// break-even on a 10k-node overlay.  Once the generations exist, keeping
+/// them current is O(affected neighbourhoods) per barrier, so every later
+/// read run uses them regardless of its length.
 fn frozen_run_threshold(population: usize) -> usize {
     FROZEN_MIN_RUN.max(population / 16)
+}
+
+/// How [`SyncEngine`] keeps its frozen view generations current at read
+/// barriers (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViewMaintenance {
+    /// Delta-patch the stale generation through the overlay's change log
+    /// (full rebuild only when the log window no longer covers it).
+    #[default]
+    Incremental,
+    /// Rebuild a stale generation from scratch at every barrier — the
+    /// pre-epoch behaviour, kept as the benchmark baseline.
+    RebuildPerBarrier,
 }
 
 /// The synchronous VoroNet engine: every operation executes to completion
@@ -55,6 +86,14 @@ pub struct SyncEngine {
     routes: RouteStats,
     scratch: RouteScratch,
     threads: usize,
+    /// Frozen view generations, created lazily at the first read run that
+    /// justifies a freeze and retained across batches from then on.
+    views: Option<ViewGenerations>,
+    /// Read-only ops seen so far while `views` is still unset — lets many
+    /// short read runs (the mixed-workload shape) eventually justify the
+    /// first freeze even though no single run crosses the threshold.
+    reads_seen: usize,
+    maintenance: ViewMaintenance,
 }
 
 impl SyncEngine {
@@ -72,7 +111,28 @@ impl SyncEngine {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            views: None,
+            reads_seen: 0,
+            maintenance: ViewMaintenance::default(),
         }
+    }
+
+    /// Sets the frozen-view maintenance policy (builder form).  Results
+    /// are bit-identical under every policy; only the snapshot economics
+    /// ([`SyncEngine::snapshot_stats`]) differ.
+    pub fn with_view_maintenance(mut self, maintenance: ViewMaintenance) -> Self {
+        self.set_view_maintenance(maintenance);
+        self
+    }
+
+    /// Sets the frozen-view maintenance policy.
+    pub fn set_view_maintenance(&mut self, maintenance: ViewMaintenance) {
+        self.maintenance = maintenance;
+    }
+
+    /// The frozen-view maintenance policy in use.
+    pub fn view_maintenance(&self) -> ViewMaintenance {
+        self.maintenance
     }
 
     /// Sets the number of worker threads used for read-only batch runs
@@ -145,26 +205,50 @@ impl SyncEngine {
         }
     }
 
-    /// Executes one maximal read-only run over a fresh [`FrozenView`],
-    /// fanning it across the configured worker threads, and appends the
-    /// per-op results (in op order) to `results`.
+    /// Executes one maximal read-only run over the current front
+    /// [`FrozenView`] generation (created on first use, then kept current
+    /// by epoch-keyed advance), fanning large runs across the configured
+    /// worker threads, and appends the per-op results (in op order) to
+    /// `results`.
     fn apply_read_run(&mut self, run: &[Op], results: &mut Vec<OpResult>) {
-        let view = self.net.freeze();
+        // Bring a generation up to the overlay's epoch and flip: free
+        // when no write happened since the last run, O(affected
+        // neighbourhoods) otherwise (O(n) under RebuildPerBarrier).
+        let refresh = match &mut self.views {
+            Some(views) => match self.maintenance {
+                ViewMaintenance::Incremental => views.advance(&self.net),
+                ViewMaintenance::RebuildPerBarrier => views.advance_rebuilding(&self.net),
+            },
+            None => {
+                self.views = Some(ViewGenerations::new(&self.net));
+                ViewRefresh::Rebuilt
+            }
+        };
+        self.net.record_view_refresh(&refresh);
+        let view = self
+            .views
+            .as_ref()
+            .expect("views initialised above")
+            .front();
         let start = results.len();
-        let workers = self.threads.min(run.len()).max(1);
+        let workers = if run.len() >= FROZEN_MIN_RUN {
+            self.threads.min(run.len()).max(1)
+        } else {
+            1
+        };
         if workers == 1 {
-            let mut acc = TrafficAccumulator::new(&view);
+            let mut acc = TrafficAccumulator::new(view);
             for op in run {
                 self.scratch.delta.clear();
-                results.push(Self::exec_read(&self.net, &view, op, &mut self.scratch));
-                acc.absorb(&view, &self.scratch.delta);
+                results.push(Self::exec_read(&self.net, view, op, &mut self.scratch));
+                acc.absorb(view, &self.scratch.delta);
             }
             self.scratch.delta.clear();
-            self.net.apply_accumulated_traffic(&view, &acc);
+            self.net.apply_accumulated_traffic(view, &acc);
         } else {
             let chunk = run.len().div_ceil(workers);
             let net = &self.net;
-            let view_ref = &view;
+            let view_ref = view;
             // Contiguous chunks keep the op → worker mapping independent of
             // scheduling; joining in spawn order restores op order exactly.
             let outcomes: Vec<(Vec<OpResult>, TrafficAccumulator)> = std::thread::scope(|s| {
@@ -198,7 +282,7 @@ impl SyncEngine {
                 }
             }
             if let Some(acc) = merged {
-                self.net.apply_accumulated_traffic(&view, &acc);
+                self.net.apply_accumulated_traffic(view, &acc);
             }
         }
         // Route-stat recording happens here (in op order) because the
@@ -284,11 +368,15 @@ impl Overlay for SyncEngine {
     }
 
     /// Batched submission with the parallel read path: maximal read-only
-    /// runs between write barriers execute over one shared [`FrozenView`]
-    /// across the configured worker threads; write ops (and runs too short
-    /// to amortise a freeze) apply sequentially.  Results and traffic
+    /// runs between write barriers execute over the retained
+    /// [`FrozenView`] generations (epoch-keyed, delta-patched at each
+    /// barrier), large runs fanned across the configured worker threads;
+    /// write ops apply sequentially.  The first freeze happens once the
+    /// cumulative read volume justifies it; from then on every read run —
+    /// however short — uses the frozen path, since keeping a view current
+    /// costs O(affected neighbourhoods), not O(n).  Results and traffic
     /// accounting are bit-identical to sequential per-op application at
-    /// any thread count.
+    /// any thread count and under either maintenance policy.
     fn apply_batch(&mut self, ops: &[Op]) -> Vec<OpResult> {
         let mut results = Vec::with_capacity(ops.len());
         let mut i = 0;
@@ -298,10 +386,12 @@ impl Overlay for SyncEngine {
                 while j < ops.len() && ops[j].is_read_only() {
                     j += 1;
                 }
-                if j - i >= frozen_run_threshold(self.net.len()) {
-                    self.apply_read_run(&ops[i..j], &mut results);
+                let run = &ops[i..j];
+                self.reads_seen = self.reads_seen.saturating_add(run.len());
+                if self.views.is_some() || self.reads_seen >= frozen_run_threshold(self.net.len()) {
+                    self.apply_read_run(run, &mut results);
                 } else {
-                    for op in &ops[i..j] {
+                    for op in run {
                         results.push(self.apply(op));
                     }
                 }
@@ -312,5 +402,9 @@ impl Overlay for SyncEngine {
             }
         }
         results
+    }
+
+    fn snapshot_stats(&self) -> SnapshotStats {
+        self.net.snapshot_stats()
     }
 }

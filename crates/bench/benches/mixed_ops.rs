@@ -1,0 +1,186 @@
+//! Mixed read/write traffic over the epoch-patched frozen read path:
+//! `OpMix::mixed` batches (99:1, 95:5, 80:20 read/write) on a pre-built
+//! 10,000-node overlay, submitted through `SyncEngine::apply_batch`
+//! under both view-maintenance policies — the incremental delta-patch
+//! path against rebuild-per-barrier as the baseline.
+//!
+//! This is the measurement behind the tentpole claim of the epoch work:
+//! the ~5× frozen read path only pays off under sustained read traffic
+//! if interleaved writers don't force a full snapshot rebuild at every
+//! barrier.  The bench records ns/op for both policies and the
+//! incremental speedup per mix as the `mixed_ops` section of
+//! `BENCH_routes.json`, together with the snapshot economics
+//! (patches / rebuilds / patched rows), and **asserts** that both
+//! policies produce element-wise identical results.
+//!
+//! Smoke mode (`VORONET_SMOKE=1`, used by CI) shrinks the overlay and
+//! the batches so the bench finishes in seconds, keeps the determinism
+//! assertions, and skips the JSON record.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+use voronet_api::{resolve_workload, Op, Overlay, SyncEngine, ViewMaintenance};
+use voronet_core::experiments::build_overlay;
+use voronet_core::{SnapshotStats, VoroNet, VoroNetConfig};
+use voronet_workloads::{Distribution, OpBatchGenerator, OpMix};
+
+const SEED: u64 = 2007;
+const READ_PCTS: [u32; 3] = [99, 95, 80];
+
+fn smoke() -> bool {
+    std::env::var_os("VORONET_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn overlay_size() -> usize {
+    if smoke() {
+        1_500
+    } else {
+        10_000
+    }
+}
+
+fn batch_size() -> usize {
+    if smoke() {
+        256
+    } else {
+        1_024
+    }
+}
+
+fn batch_count() -> usize {
+    if smoke() {
+        3
+    } else {
+        6
+    }
+}
+
+fn build_net() -> VoroNet {
+    let n = overlay_size();
+    let cfg = VoroNetConfig::new(n).with_seed(SEED);
+    build_overlay(Distribution::Uniform, n, cfg).0
+}
+
+/// Pre-resolves the whole mixed script against an untimed scratch replay
+/// of the same overlay, so both timed engines execute identical id-named
+/// batches (the scratch engine evolves exactly as the timed ones will).
+fn scripts_for(net: &VoroNet, read_pct: u32) -> Vec<Vec<Op>> {
+    let mut scratch = SyncEngine::from_net(net.clone());
+    let mut gen = OpBatchGenerator::new(
+        Distribution::Uniform,
+        SEED ^ u64::from(read_pct),
+        OpMix::mixed(read_pct),
+    )
+    .with_zipf_destinations(0.9);
+    (0..batch_count())
+        .map(|_| {
+            let ops = resolve_workload(&scratch, &gen.batch(scratch.len(), batch_size()));
+            scratch.apply_batch(&ops);
+            ops
+        })
+        .collect()
+}
+
+/// Replays the full batch sequence on a fresh engine under `policy`;
+/// returns (ns/op, all results in order, snapshot economics).
+fn run_policy(
+    net: &VoroNet,
+    scripts: &[Vec<Op>],
+    policy: ViewMaintenance,
+) -> (f64, Vec<voronet_api::OpResult>, SnapshotStats) {
+    let mut engine = SyncEngine::from_net(net.clone())
+        .with_threads(4)
+        .with_view_maintenance(policy);
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    let mut results = Vec::with_capacity(total);
+    let start = Instant::now();
+    for ops in scripts {
+        results.extend(engine.apply_batch(ops));
+    }
+    let ns = start.elapsed().as_nanos() as f64 / total as f64;
+    (ns, results, engine.snapshot_stats())
+}
+
+fn mixed_ops(c: &mut Criterion) {
+    let net = build_net();
+
+    let mut group = c.benchmark_group("mixed_ops");
+    group.sample_size(10);
+    let mut sections = Vec::new();
+    for &pct in &READ_PCTS {
+        let scripts = scripts_for(&net, pct);
+        let (inc_ns, inc_results, inc_snap) =
+            run_policy(&net, &scripts, ViewMaintenance::Incremental);
+        let (reb_ns, reb_results, reb_snap) =
+            run_policy(&net, &scripts, ViewMaintenance::RebuildPerBarrier);
+        assert_eq!(
+            inc_results,
+            reb_results,
+            "{pct}:{} mix: both maintenance policies must produce identical results",
+            100 - pct
+        );
+        assert!(
+            inc_snap.delta_patches > 0,
+            "{pct}:{} mix: the incremental engine never took the patch path: {inc_snap}",
+            100 - pct
+        );
+        assert_eq!(
+            reb_snap.delta_patches, 0,
+            "rebuild-per-barrier must never patch: {reb_snap}"
+        );
+        let speedup = reb_ns / inc_ns;
+        println!(
+            "mixed_ops {pct}:{}: incremental {inc_ns:.0} ns/op ({inc_snap}), \
+             rebuild-per-barrier {reb_ns:.0} ns/op ({reb_snap}), speedup {speedup:.2}x",
+            100 - pct
+        );
+        sections.push(format!(
+            "\"{pct}\": {{ \"incremental_ns_per_op\": {inc_ns:.1}, \
+             \"rebuild_per_barrier_ns_per_op\": {reb_ns:.1}, \"speedup\": {speedup:.2}, \
+             \"delta_patches\": {}, \"patched_nodes\": {}, \"full_rebuilds\": {}, \
+             \"views_reused\": {} }}",
+            inc_snap.delta_patches, inc_snap.patched_nodes, inc_snap.full_rebuilds, inc_snap.reused
+        ));
+
+        // Criterion timing for the 95:5 headline mix only (each sample
+        // replays the whole sequence from a fresh engine clone, so the
+        // mutation script stays applicable).
+        if pct == 95 {
+            for (policy, label) in [
+                (ViewMaintenance::Incremental, "incremental"),
+                (ViewMaintenance::RebuildPerBarrier, "rebuild_per_barrier"),
+            ] {
+                group.bench_function(BenchmarkId::new("replay_95_5", label), |b| {
+                    b.iter(|| black_box(run_policy(&net, &scripts, policy).0));
+                });
+            }
+        }
+    }
+    group.finish();
+
+    if smoke() {
+        println!("smoke mode: determinism asserted, JSON record skipped");
+        return;
+    }
+    let section = format!(
+        "{{ \"overlay_size\": {}, \"batch\": {}, \"batches\": {}, \"threads\": 4, \
+         \"mixes\": {{ {} }}, \"results_identical\": true }}",
+        overlay_size(),
+        batch_size(),
+        batch_count(),
+        sections.join(", ")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routes.json");
+    match voronet_bench::record::update_json_section(Path::new(out), "mixed_ops", &section) {
+        Err(e) => eprintln!("could not write {out}: {e}"),
+        Ok(()) => println!("recorded mixed_ops results to {out}"),
+    }
+}
+
+criterion_group!(benches, mixed_ops);
+
+fn main() {
+    benches();
+}

@@ -183,6 +183,19 @@ impl NodeArena {
         self.order.iter().copied()
     }
 
+    /// The dense sampling order as a slice — the order a
+    /// [`crate::FrozenView`] mirrors, exposed so snapshot maintenance can
+    /// assert its patched dense order stayed in lockstep.
+    pub fn order(&self) -> &[ObjectId] {
+        &self.order
+    }
+
+    /// Dense-order position of a live node (`None` otherwise); the inverse
+    /// of [`NodeArena::id_at`].
+    pub fn dense_pos_of(&self, id: ObjectId) -> Option<usize> {
+        self.get(id).map(|s| s.dense_pos as usize)
+    }
+
     /// Protocol messages sent by a live node (`None` for unknown nodes).
     pub fn sent_by(&self, id: ObjectId) -> Option<u64> {
         self.get(id).map(|s| s.sent)

@@ -61,4 +61,7 @@ pub use runtime::{
     run_scenario, AsyncOverlay, OpToken, ProtocolMsg, RoutePurpose, RoutingMode, ScenarioCounters,
     ScenarioReport, WireTap, UNTRACKED,
 };
-pub use snapshot::{FrozenView, RouteScratch, TrafficAccumulator, TrafficDelta};
+pub use snapshot::{
+    FrozenView, RouteScratch, SnapshotStats, TrafficAccumulator, TrafficDelta, ViewGenerations,
+    ViewRefresh,
+};

@@ -25,18 +25,31 @@
 //!   ([`crate::VoroNet::apply_accumulated_traffic`]) so batch executors do
 //!   O(distinct senders) map updates instead of O(messages).
 //!
-//! A `FrozenView` is valid only for the overlay state it was built from:
-//! any mutation (insert, remove, long-link refresh, `N_max` adaptation)
-//! invalidates it, and callers must rebuild after every write barrier.
+//! A `FrozenView` describes the overlay state at one **snapshot epoch**
+//! ([`crate::VoroNet::snapshot_epoch`], bumped on every topology
+//! mutation).  It does not have to be thrown away when the overlay moves
+//! on: [`FrozenView::refresh`] replays the overlay's [`ChangeLog`] — the
+//! per-mutation record of which Voronoi neighbourhoods an insert/remove
+//! actually touched — and patches the SoA arrays and the CSR adjacency in
+//! O(affected neighbourhoods) instead of rebuilding in O(n), falling back
+//! to a full rebuild only when the log window no longer covers the view
+//! or the touched set approaches the population.  A patched view is
+//! **bit-identical** (ids, coordinates, adjacency in live scan order) to
+//! a from-scratch [`VoroNet::freeze`] at the same epoch.
+//! [`ViewGenerations`] wraps two views in a left-right/RCU-style scheme:
+//! readers keep serving the stable front generation while the writer
+//! patches the back one, flipping at the barrier, so readers never block.
 //! Routing over a `FrozenView` takes, hop for hop, exactly the decisions
-//! of [`crate::VoroNet::route_to_point_into`]: the adjacency lists preserve
-//! the live scan order (Voronoi fan order, then close neighbours, then
-//! long links) and distances are compared with the same strict-`<` rule,
-//! so owners, hop counts, paths and recorded messages are bit-identical.
+//! of [`crate::VoroNet::route_to_point_into`] on the overlay state of the
+//! view's epoch: the adjacency lists preserve the live scan order
+//! (Voronoi fan order, then close neighbours, then long links) and
+//! distances are compared with the same strict-`<` rule, so owners, hop
+//! counts, paths and recorded messages are bit-identical.
 
-use crate::arena::NodeArena;
+use crate::arena::{NodeArena, NodeSlot};
 use crate::object::ObjectId;
 use crate::overlay::{OverlayError, VoroNet};
+use std::collections::VecDeque;
 use voronet_geom::Point2;
 use voronet_sim::{MessageKind, TrafficStats};
 
@@ -141,18 +154,29 @@ impl RouteScratch {
     }
 }
 
-/// Immutable structure-of-arrays snapshot of the routing topology (see
-/// the [module docs](self)).
+/// Structure-of-arrays snapshot of the routing topology at one snapshot
+/// epoch (see the [module docs](self)).
 ///
 /// Nodes are addressed by *dense index* — the overlay's dense sampling
-/// order at freeze time — with O(1) translation from [`ObjectId`]s.
+/// order at the view's epoch — with O(1) translation from [`ObjectId`]s.
 /// Coordinates live in flat `xs`/`ys` arrays and the complete greedy
 /// neighbourhood of each node (Voronoi fan, close neighbours, long links,
-/// in the live path's scan order) is one CSR slice of dense indices, so a
-/// greedy hop reads two offset words and a handful of contiguous array
-/// entries.
+/// in the live path's scan order) is one contiguous slice of dense
+/// indices in a shared pool, so a greedy hop reads two offset words and a
+/// handful of contiguous array entries.
+///
+/// The pool is CSR-shaped but patchable: each node carries an explicit
+/// `(start, len)` row descriptor instead of sharing offsets with its
+/// successor, so [`FrozenView::refresh`] can rewrite just the rows an
+/// overlay mutation dirtied (appending when a row grows, tombstoning the
+/// old footprint) and compact the pool once the garbage outweighs the
+/// live entries.  Two views are [`PartialEq`]-equal when their ids,
+/// coordinates and per-node adjacency rows agree — pool layout and epoch
+/// are not observable.
 #[derive(Debug, Clone)]
 pub struct FrozenView {
+    /// Snapshot epoch of the overlay state this view describes.
+    epoch: u64,
     /// Dense index → object id.
     ids: Vec<ObjectId>,
     /// Object id → dense index.
@@ -161,10 +185,24 @@ pub struct FrozenView {
     xs: Vec<f64>,
     /// Dense index → y coordinate.
     ys: Vec<f64>,
-    /// CSR offsets into `adj` (`len() + 1` entries).
-    adj_off: Vec<u32>,
-    /// Flattened routing adjacency, as dense indices.
+    /// Dense index → start of its adjacency row in `adj`.
+    adj_start: Vec<u32>,
+    /// Dense index → length of its adjacency row.
+    adj_len: Vec<u32>,
+    /// Pooled routing adjacency rows, as dense indices.
     adj: Vec<u32>,
+    /// Tombstoned pool entries left behind by patched rows.
+    dead: u32,
+}
+
+impl PartialEq for FrozenView {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids
+            && self.xs == other.xs
+            && self.ys == other.ys
+            && (0..self.ids.len())
+                .all(|d| self.neighbours_of(d as u32) == other.neighbours_of(d as u32))
+    }
 }
 
 /// Object-id → dense-index translation.  Object ids are allocated
@@ -224,15 +262,74 @@ impl IdIndex {
             IdIndex::Map(map) => map.get(&id).copied(),
         }
     }
+
+    /// Maps `id` to `dense`, growing the flat table as needed (object ids
+    /// are monotonic, so new ids always extend the table's high end).
+    fn set(&mut self, id: ObjectId, dense: u32) {
+        match self {
+            IdIndex::Flat { base, table } => {
+                let Some(off) = id.0.checked_sub(*base) else {
+                    // Ids below the base cannot appear for *new* inserts
+                    // (ids are monotonic); fall back defensively anyway.
+                    self.demote();
+                    self.set(id, dense);
+                    return;
+                };
+                let off = off as usize;
+                if off >= table.len() {
+                    table.resize(off + 1, u32::MAX);
+                }
+                table[off] = dense;
+            }
+            IdIndex::Map(map) => {
+                map.insert(id, dense);
+            }
+        }
+    }
+
+    /// Unmaps `id`; it must be present.
+    fn remove(&mut self, id: ObjectId) {
+        match self {
+            IdIndex::Flat { base, table } => {
+                table[(id.0 - *base) as usize] = u32::MAX;
+            }
+            IdIndex::Map(map) => {
+                map.remove(&id);
+            }
+        }
+    }
+
+    /// Converts a flat table to the sparse map.
+    fn demote(&mut self) {
+        if let IdIndex::Flat { base, table } = self {
+            let map = table
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d != u32::MAX)
+                .map(|(off, &d)| (ObjectId(*base + off as u64), d))
+                .collect();
+            *self = IdIndex::Map(map);
+        }
+    }
+
+    /// Demotes the flat table once churn has spread the id range beyond
+    /// the same bound `build` uses — a patched index never holds more
+    /// memory than a freshly built one would accept.
+    fn maybe_demote(&mut self, live: usize) {
+        if let IdIndex::Flat { table, .. } = self {
+            if table.len() > live.saturating_mul(Self::MAX_SPREAD) + 64 {
+                self.demote();
+            }
+        }
+    }
 }
 
 impl FrozenView {
-    /// Freezes the routing state of `net`.  O(n + edges); the snapshot is
-    /// immutable and `Sync`, and must be rebuilt after any overlay
-    /// mutation.
+    /// Freezes the routing state of `net` at its current snapshot epoch.
+    /// O(n + edges); the snapshot is `Sync`, and [`FrozenView::refresh`]
+    /// brings it forward after overlay mutations.
     pub fn new(net: &VoroNet) -> Self {
         let n = net.len();
-        let tri = net.triangulation();
         let arena = net.arena();
         let mut ids = Vec::with_capacity(n);
         let mut xs = Vec::with_capacity(n);
@@ -245,40 +342,204 @@ impl FrozenView {
         }
         let id_to_dense = IdIndex::build(&ids);
 
-        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj_start = Vec::with_capacity(n);
+        let mut adj_len = Vec::with_capacity(n);
         let mut adj = Vec::new();
-        adj_off.push(0u32);
         for &id in &ids {
             let slot = arena.get(id).expect("dense order holds live nodes");
-            // Exactly the live walk's scan order: Voronoi fan first, then
-            // close neighbours (BTreeSet order), then long links — with the
-            // node itself skipped, as the live path's `n == cur` test does.
-            for v in tri.real_neighbors_iter(slot.vertex()) {
-                let o = net
-                    .object_at_vertex(v)
-                    .expect("real vertices always map to live objects");
-                adj.push(id_to_dense.get(o).expect("neighbours are live"));
-            }
-            for n in slot
-                .close()
-                .iter()
-                .copied()
-                .chain(slot.long().iter().map(|l| l.neighbour))
-            {
-                if n != id {
-                    adj.push(id_to_dense.get(n).expect("neighbours are live"));
-                }
-            }
-            adj_off.push(adj.len() as u32);
+            let start = adj.len();
+            push_row(net, slot, &id_to_dense, &mut adj);
+            adj_start.push(start as u32);
+            adj_len.push((adj.len() - start) as u32);
         }
         FrozenView {
+            epoch: net.snapshot_epoch(),
             ids,
             id_to_dense,
             xs,
             ys,
-            adj_off,
+            adj_start,
+            adj_len,
             adj,
+            dead: 0,
         }
+    }
+
+    /// Snapshot epoch of the overlay state this view describes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Brings the view forward to `net`'s current snapshot epoch.
+    ///
+    /// When the overlay's [`ChangeLog`] still covers this view's epoch
+    /// and the dirtied neighbourhoods are small against the population,
+    /// the view is *patched*: membership changes are replayed onto the
+    /// SoA arrays (swap-remove, exactly like the arena's dense order) and
+    /// only the adjacency rows of dirtied nodes are rebuilt, in
+    /// O(affected neighbourhoods).  Otherwise the view is rebuilt from
+    /// scratch.  Either way the result is bit-identical to
+    /// [`VoroNet::freeze`] at the same epoch.
+    pub fn refresh(&mut self, net: &VoroNet) -> ViewRefresh {
+        let target = net.snapshot_epoch();
+        if self.epoch == target {
+            return ViewRefresh::Current;
+        }
+        // Size the patch first: if the log window no longer reaches back
+        // to this view's epoch, or the dirtied set approaches the
+        // population, a from-scratch rebuild is cheaper.
+        let mut touched = 0usize;
+        let covered = match net.change_log().range(self.epoch, target) {
+            None => false,
+            Some(records) => {
+                for rec in records {
+                    touched += rec.dirty().len() + 1;
+                }
+                true
+            }
+        };
+        if !covered || touched * 2 >= net.len().max(16) {
+            *self = FrozenView::new(net);
+            return ViewRefresh::Rebuilt;
+        }
+        let records = net
+            .change_log()
+            .range(self.epoch, target)
+            .expect("coverage checked above");
+
+        // Pass 1: replay membership changes in log order.  Removes mirror
+        // the arena's swap-remove, so dense order tracks the live scan
+        // order exactly; nodes swapped into a freed slot are remembered,
+        // because every row that referenced their old dense index must be
+        // rewritten even if the log never dirtied it.
+        let mut dirty: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+        let mut moved: Vec<ObjectId> = Vec::new();
+        let mut applied = 0usize;
+        for rec in records {
+            applied += 1;
+            dirty.extend(rec.dirty().iter().copied());
+            match *rec {
+                ChangeRecord::Insert { id, x, y, .. } => {
+                    let dense = self.ids.len() as u32;
+                    self.ids.push(id);
+                    self.xs.push(x);
+                    self.ys.push(y);
+                    self.adj_start.push(self.adj.len() as u32);
+                    self.adj_len.push(0);
+                    self.id_to_dense.set(id, dense);
+                    dirty.insert(id);
+                }
+                ChangeRecord::Remove { id, .. } => {
+                    let pos = self
+                        .id_to_dense
+                        .get(id)
+                        .expect("log-consistent views hold every removed id")
+                        as usize;
+                    self.dead += self.adj_len[pos];
+                    self.id_to_dense.remove(id);
+                    self.ids.swap_remove(pos);
+                    self.xs.swap_remove(pos);
+                    self.ys.swap_remove(pos);
+                    self.adj_start.swap_remove(pos);
+                    self.adj_len.swap_remove(pos);
+                    if pos < self.ids.len() {
+                        let moved_id = self.ids[pos];
+                        self.id_to_dense.set(moved_id, pos as u32);
+                        moved.push(moved_id);
+                    }
+                }
+                ChangeRecord::Mutate { .. } => {}
+            }
+        }
+
+        // Pass 2: a swapped node's dense index changed, so every row that
+        // scans it — its Voronoi fan, close neighbours, and the sources
+        // of its back-long pointers (the mirror of long links *to* it) —
+        // is stale.  All of that is local state on the moved node's slot.
+        let arena = net.arena();
+        let tri = net.triangulation();
+        for id in moved {
+            // The node may itself have been removed by a later record.
+            let Some(slot) = arena.get(id) else { continue };
+            dirty.insert(id);
+            for v in tri.real_neighbors_iter(slot.vertex()) {
+                if let Some(o) = net.object_at_vertex(v) {
+                    dirty.insert(o);
+                }
+            }
+            for &c in slot.close() {
+                dirty.insert(c);
+            }
+            for bl in slot.back_long() {
+                dirty.insert(bl.source);
+            }
+        }
+
+        // Pass 3: rebuild the adjacency rows of every dirty node still
+        // live, in the exact scan order a fresh freeze would emit.
+        // Sorted for run-to-run determinism of the pool layout.
+        let mut dirty: Vec<ObjectId> = dirty.into_iter().collect();
+        dirty.sort_unstable();
+        let mut row: Vec<u32> = Vec::new();
+        let mut patched = 0usize;
+        for id in dirty {
+            // Membership in the patched view now matches the live net, so
+            // ids dirtied and later removed simply drop out here.
+            let Some(dense) = self.id_to_dense.get(id) else {
+                continue;
+            };
+            let slot = arena.get(id).expect("view membership matches the net");
+            row.clear();
+            push_row(net, slot, &self.id_to_dense, &mut row);
+            self.replace_row(dense as usize, &row);
+            patched += 1;
+        }
+
+        self.id_to_dense.maybe_demote(self.ids.len());
+        self.maybe_compact();
+        self.epoch = target;
+        debug_assert_eq!(
+            self.ids,
+            net.arena().order(),
+            "patched dense order must equal the arena's live scan order"
+        );
+        ViewRefresh::Patched {
+            nodes: patched,
+            records: applied,
+        }
+    }
+
+    /// Rewrites one adjacency row: in place when it fits the old
+    /// footprint, appended to the pool when it grew.
+    fn replace_row(&mut self, dense: usize, row: &[u32]) {
+        let old = self.adj_len[dense] as usize;
+        let start = self.adj_start[dense] as usize;
+        if row.len() <= old {
+            self.adj[start..start + row.len()].copy_from_slice(row);
+            self.dead += (old - row.len()) as u32;
+        } else {
+            self.dead += old as u32;
+            self.adj_start[dense] = self.adj.len() as u32;
+            self.adj.extend_from_slice(row);
+        }
+        self.adj_len[dense] = row.len() as u32;
+    }
+
+    /// Rewrites the pool in dense order once tombstones outweigh live
+    /// entries, bounding memory at O(edges) under sustained churn.
+    fn maybe_compact(&mut self) {
+        if (self.dead as usize) * 2 <= self.adj.len() || self.adj.len() < 64 {
+            return;
+        }
+        let mut pool = Vec::with_capacity(self.adj.len() - self.dead as usize);
+        for dense in 0..self.ids.len() {
+            let start = self.adj_start[dense] as usize;
+            let len = self.adj_len[dense] as usize;
+            self.adj_start[dense] = pool.len() as u32;
+            pool.extend_from_slice(&self.adj[start..start + len]);
+        }
+        self.adj = pool;
+        self.dead = 0;
     }
 
     /// Number of nodes in the snapshot.
@@ -313,8 +574,8 @@ impl FrozenView {
     /// The frozen routing neighbourhood of a dense index, as dense indices
     /// in scan order.
     pub fn neighbours_of(&self, index: u32) -> &[u32] {
-        let s = self.adj_off[index as usize] as usize;
-        let e = self.adj_off[index as usize + 1] as usize;
+        let s = self.adj_start[index as usize] as usize;
+        let e = s + self.adj_len[index as usize] as usize;
         &self.adj[s..e]
     }
 
@@ -377,6 +638,229 @@ impl FrozenView {
             "a route towards an existing object must terminate at that object"
         );
         Ok((owner, hops))
+    }
+}
+
+/// Appends `slot`'s routing adjacency row to `out`, in exactly the live
+/// walk's scan order: Voronoi fan first, then close neighbours (BTreeSet
+/// order), then long links — with the node itself skipped, as the live
+/// path's `n == cur` test does.  Shared by the full freeze and the
+/// per-row patch path so both emit identical rows.
+fn push_row(net: &VoroNet, slot: &NodeSlot, index: &IdIndex, out: &mut Vec<u32>) {
+    let id = slot.id();
+    for v in net.triangulation().real_neighbors_iter(slot.vertex()) {
+        let o = net
+            .object_at_vertex(v)
+            .expect("real vertices always map to live objects");
+        out.push(index.get(o).expect("neighbours are live"));
+    }
+    for n in slot
+        .close()
+        .iter()
+        .copied()
+        .chain(slot.long().iter().map(|l| l.neighbour))
+    {
+        if n != id {
+            out.push(index.get(n).expect("neighbours are live"));
+        }
+    }
+}
+
+/// One overlay mutation, as recorded in the [`ChangeLog`]: the membership
+/// effect plus the set of nodes whose adjacency rows it dirtied.
+///
+/// Insert records carry the coordinates captured at mutation time — the
+/// object may be gone from the arena by the time a view replays the log.
+/// The `dirty` lists name every node whose Voronoi fan, close set or long
+/// links changed; back-long pointers are not part of any adjacency row,
+/// so retargeting them alone dirties only the *source* of the link.
+#[derive(Debug, Clone)]
+pub(crate) enum ChangeRecord {
+    /// An object joined; `dirty` holds its new neighbourhood.
+    Insert {
+        id: ObjectId,
+        x: f64,
+        y: f64,
+        dirty: Vec<ObjectId>,
+    },
+    /// An object departed; `dirty` holds its former neighbourhood.
+    Remove { id: ObjectId, dirty: Vec<ObjectId> },
+    /// Links changed without membership change (long-link refresh,
+    /// close-neighbour pruning).
+    Mutate { dirty: Vec<ObjectId> },
+}
+
+impl ChangeRecord {
+    fn dirty(&self) -> &[ObjectId] {
+        match self {
+            ChangeRecord::Insert { dirty, .. }
+            | ChangeRecord::Remove { dirty, .. }
+            | ChangeRecord::Mutate { dirty } => dirty,
+        }
+    }
+}
+
+/// Bounded journal of overlay mutations, indexed by snapshot epoch:
+/// record `i` moves the overlay from epoch `base + i` to `base + i + 1`.
+///
+/// The log retains the most recent `ChangeLog::CAP` (4096) records; views
+/// older than the window simply rebuild from scratch, so the log bounds
+/// writer-side memory without any reader registration protocol.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeLog {
+    base: u64,
+    records: VecDeque<ChangeRecord>,
+}
+
+impl ChangeLog {
+    /// Retained mutation records; enough for thousands of writes between
+    /// view refreshes while keeping worst-case replay far below a
+    /// rebuild.
+    const CAP: usize = 4096;
+
+    pub(crate) fn push(&mut self, rec: ChangeRecord) {
+        if self.records.len() == Self::CAP {
+            self.records.pop_front();
+            self.base += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// The records moving an overlay from epoch `from` to epoch `to`, or
+    /// `None` when the window no longer reaches back to `from`.
+    fn range(&self, from: u64, to: u64) -> Option<impl Iterator<Item = &ChangeRecord>> {
+        let lo = from.checked_sub(self.base)? as usize;
+        let hi = to.checked_sub(self.base)? as usize;
+        if hi > self.records.len() || lo > hi {
+            return None;
+        }
+        Some(self.records.range(lo..hi))
+    }
+}
+
+/// What [`FrozenView::refresh`] (or [`ViewGenerations::advance`]) did to
+/// bring a view up to date — feed it to
+/// [`VoroNet::record_view_refresh`] so snapshot economics show up in
+/// [`VoroNet::snapshot_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewRefresh {
+    /// The view already described the current epoch; nothing was done.
+    Current,
+    /// The view was rebuilt from scratch (O(n + edges)).
+    Rebuilt,
+    /// The view was delta-patched: `nodes` adjacency rows rewritten while
+    /// replaying `records` log records.
+    Patched {
+        /// Adjacency rows rewritten.
+        nodes: usize,
+        /// Change-log records replayed.
+        records: usize,
+    },
+}
+
+/// Snapshot-maintenance economics: how often views were reused, patched
+/// or rebuilt.  Kept outside [`crate::VoroNet`]'s protocol counters —
+/// these describe the *execution strategy*, not the overlay, so engines
+/// with different view policies still agree on protocol stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Refreshes that found the view already current (free reuse).
+    pub reused: u64,
+    /// Views rebuilt from scratch.
+    pub full_rebuilds: u64,
+    /// Delta patches applied.
+    pub delta_patches: u64,
+    /// Total adjacency rows rewritten across all delta patches.
+    pub patched_nodes: u64,
+}
+
+impl SnapshotStats {
+    /// Folds one refresh outcome in.
+    pub fn absorb(&mut self, refresh: &ViewRefresh) {
+        match *refresh {
+            ViewRefresh::Current => self.reused += 1,
+            ViewRefresh::Rebuilt => self.full_rebuilds += 1,
+            ViewRefresh::Patched { nodes, .. } => {
+                self.delta_patches += 1;
+                self.patched_nodes += nodes as u64;
+            }
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &SnapshotStats) {
+        self.reused += other.reused;
+        self.full_rebuilds += other.full_rebuilds;
+        self.delta_patches += other.delta_patches;
+        self.patched_nodes += other.patched_nodes;
+    }
+}
+
+impl std::fmt::Display for SnapshotStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "views: {} reused, {} patched ({} rows), {} rebuilt",
+            self.reused, self.delta_patches, self.patched_nodes, self.full_rebuilds
+        )
+    }
+}
+
+/// Double-buffered [`FrozenView`] generations, left-right/RCU style.
+///
+/// [`ViewGenerations::front`] is the stable generation read workers serve
+/// from; [`ViewGenerations::advance`] patches the *back* generation up to
+/// the overlay's current epoch and flips, so a batch executor's readers
+/// are never handed a view that is mid-patch.  Each generation refreshes
+/// from its own (older) epoch — the change log covers both because it
+/// retains a bounded window, and a generation that has fallen out of the
+/// window simply rebuilds.
+#[derive(Debug, Clone)]
+pub struct ViewGenerations {
+    gens: [FrozenView; 2],
+    front: usize,
+}
+
+impl ViewGenerations {
+    /// Freezes the overlay once and seeds both generations from it.
+    pub fn new(net: &VoroNet) -> Self {
+        let view = FrozenView::new(net);
+        ViewGenerations {
+            gens: [view.clone(), view],
+            front: 0,
+        }
+    }
+
+    /// The stable front generation.
+    pub fn front(&self) -> &FrozenView {
+        &self.gens[self.front]
+    }
+
+    /// Brings a generation up to the overlay's current epoch and makes it
+    /// the front: a no-op when the front is already current, otherwise
+    /// the back generation is delta-patched (or rebuilt) and the buffers
+    /// flip at this barrier.
+    pub fn advance(&mut self, net: &VoroNet) -> ViewRefresh {
+        if self.gens[self.front].epoch() == net.snapshot_epoch() {
+            return ViewRefresh::Current;
+        }
+        let back = 1 - self.front;
+        let refresh = self.gens[back].refresh(net);
+        self.front = back;
+        refresh
+    }
+
+    /// Like [`ViewGenerations::advance`], but always rebuilds a stale
+    /// back generation from scratch — the rebuild-per-barrier baseline
+    /// the incremental path is benchmarked against.
+    pub fn advance_rebuilding(&mut self, net: &VoroNet) -> ViewRefresh {
+        if self.gens[self.front].epoch() == net.snapshot_epoch() {
+            return ViewRefresh::Current;
+        }
+        let back = 1 - self.front;
+        self.gens[back] = FrozenView::new(net);
+        self.front = back;
+        ViewRefresh::Rebuilt
     }
 }
 
@@ -577,6 +1061,189 @@ mod tests {
         assert!(
             scratch.path.is_empty(),
             "failed routes must not leave a stale path"
+        );
+    }
+
+    #[test]
+    fn refreshed_views_stay_bit_identical_to_fresh_freezes_under_churn() {
+        // One continuously-patched view must match a from-scratch freeze
+        // after every kind of mutation the overlay can perform.
+        let (mut net, mut ids) = build(120, 41);
+        let mut view = net.freeze();
+        let mut rng = StdRng::seed_from_u64(43);
+        for step in 0..250 {
+            match step % 10 {
+                0..=4 => {
+                    let p = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+                    if let Ok(r) = net.insert(p) {
+                        ids.push(r.id);
+                    }
+                }
+                5..=7 => {
+                    let victim = rng.random_range(0..ids.len());
+                    net.remove(ids.swap_remove(victim)).unwrap();
+                }
+                8 => {
+                    let id = ids[rng.random_range(0..ids.len())];
+                    net.refresh_long_links(id).unwrap();
+                }
+                _ => {
+                    net.prune_close_neighbours();
+                }
+            }
+            // Refresh at every step half the time, in bursts otherwise —
+            // both single-record and multi-record patches must hold.
+            if step % 2 == 0 || step % 7 == 0 {
+                let stale = view.epoch() != net.snapshot_epoch();
+                let refresh = view.refresh(&net);
+                // A prune that drops nothing leaves the epoch alone; any
+                // real mutation must not report a free reuse.
+                assert_eq!(stale, refresh != ViewRefresh::Current);
+                let fresh = net.freeze();
+                assert_eq!(view, fresh, "patched view diverged at step {step}");
+                assert_eq!(view.epoch(), fresh.epoch());
+            }
+        }
+        // Routes over the patched view match the live walk bit for bit.
+        let mut refresh_stats = SnapshotStats::default();
+        refresh_stats.absorb(&view.refresh(&net));
+        assert_eq!(refresh_stats.reused + refresh_stats.delta_patches, 1);
+        let mut scratch = RouteScratch::new();
+        let mut live_path = Vec::new();
+        for i in 0..60 {
+            let from = ids[(i * 11) % ids.len()];
+            let to = ids[(i * 5 + 2) % ids.len()];
+            let frozen = view.route_between_in(from, to, &mut scratch).unwrap();
+            let target = net.coords(to).unwrap();
+            let live = net
+                .route_to_point_into(from, target, &mut live_path)
+                .unwrap();
+            assert_eq!(frozen, live);
+            assert_eq!(scratch.path, live_path);
+        }
+    }
+
+    #[test]
+    fn patched_id_index_demotes_to_the_sparse_map_under_wide_churn() {
+        // Sustained churn through the *patch* path must not let the flat
+        // id table grow with the (monotonic, never reused) id range.
+        let (mut net, mut ids) = build(40, 47);
+        let mut view = net.freeze();
+        let mut rng = StdRng::seed_from_u64(53);
+        for _ in 0..600 {
+            let victim = 1 + rng.random_range(0..ids.len() - 1);
+            net.remove(ids[victim]).unwrap();
+            ids.swap_remove(victim);
+            let p = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+            if let Ok(r) = net.insert(p) {
+                ids.push(r.id);
+            }
+            view.refresh(&net);
+        }
+        assert!(
+            matches!(view.id_to_dense, IdIndex::Map(_)),
+            "patched index must demote once the id range spreads"
+        );
+        assert_eq!(view, net.freeze());
+        assert!(
+            view.adj.len() <= 2 * (view.dead as usize).max(32) + 16 * view.len(),
+            "tombstone compaction must bound the pool ({} entries, {} dead, {} nodes)",
+            view.adj.len(),
+            view.dead,
+            view.len()
+        );
+    }
+
+    #[test]
+    fn view_generations_reuse_patch_and_flip_at_barriers() {
+        let (mut net, ids) = build(80, 59);
+        let mut gens = ViewGenerations::new(&net);
+        let first_epoch = net.snapshot_epoch();
+        assert_eq!(gens.front().epoch(), first_epoch);
+        // No write: advancing is free and does not flip.
+        assert_eq!(gens.advance(&net), ViewRefresh::Current);
+
+        // A write barrier: the back generation is patched and becomes the
+        // front; the result matches a fresh freeze.
+        net.remove(ids[3]).unwrap();
+        let p = Point2::new(0.333, 0.777);
+        net.insert(p).unwrap();
+        match gens.advance(&net) {
+            ViewRefresh::Patched { records, .. } => assert_eq!(records, 2),
+            other => panic!("expected a patch, got {other:?}"),
+        }
+        assert_eq!(gens.front().epoch(), net.snapshot_epoch());
+        assert_eq!(*gens.front(), net.freeze());
+
+        // The *other* generation still holds the older epoch and catches
+        // up across a multi-barrier gap when its turn comes.
+        net.remove(ids[10]).unwrap();
+        assert!(matches!(gens.advance(&net), ViewRefresh::Patched { .. }));
+        assert_eq!(*gens.front(), net.freeze());
+
+        // The rebuild-per-barrier baseline produces the same views.
+        net.remove(ids[20]).unwrap();
+        assert_eq!(gens.advance_rebuilding(&net), ViewRefresh::Rebuilt);
+        assert_eq!(*gens.front(), net.freeze());
+        assert_eq!(gens.advance_rebuilding(&net), ViewRefresh::Current);
+    }
+
+    #[test]
+    fn views_older_than_the_log_window_rebuild_from_scratch() {
+        // Directly exercise the bounded-journal fallback: a view whose
+        // epoch predates the retained window cannot patch.
+        let mut log = ChangeLog::default();
+        for i in 0..(ChangeLog::CAP + 10) {
+            log.push(ChangeRecord::Mutate {
+                dirty: vec![ObjectId(i as u64)],
+            });
+        }
+        let newest = (ChangeLog::CAP + 10) as u64;
+        assert!(log.range(0, newest).is_none(), "window must have slid");
+        assert!(log.range(9, newest).is_none());
+        assert_eq!(
+            log.range(10, newest).map(|r| r.count()),
+            Some(ChangeLog::CAP)
+        );
+        assert_eq!(log.range(newest, newest).map(|r| r.count()), Some(0));
+
+        // And end to end: an ancient view refreshes by full rebuild.
+        let (mut net, ids) = build(50, 61);
+        let mut view = net.freeze();
+        for _ in 0..6 {
+            // Mutations beyond the patch-volume threshold for n=50 force
+            // the rebuild branch even inside the window.
+            for &id in ids.iter().take(30) {
+                net.refresh_long_links(id).unwrap();
+            }
+            assert_eq!(view.refresh(&net), ViewRefresh::Rebuilt);
+            assert_eq!(view, net.freeze());
+        }
+    }
+
+    #[test]
+    fn snapshot_stats_tally_and_render() {
+        let mut stats = SnapshotStats::default();
+        stats.absorb(&ViewRefresh::Current);
+        stats.absorb(&ViewRefresh::Rebuilt);
+        stats.absorb(&ViewRefresh::Patched {
+            nodes: 7,
+            records: 2,
+        });
+        stats.absorb(&ViewRefresh::Patched {
+            nodes: 3,
+            records: 1,
+        });
+        let mut merged = SnapshotStats::default();
+        merged.merge(&stats);
+        merged.absorb(&ViewRefresh::Current);
+        assert_eq!(merged.reused, 2);
+        assert_eq!(merged.full_rebuilds, 1);
+        assert_eq!(merged.delta_patches, 2);
+        assert_eq!(merged.patched_nodes, 10);
+        assert_eq!(
+            merged.to_string(),
+            "views: 2 reused, 2 patched (10 rows), 1 rebuilt"
         );
     }
 

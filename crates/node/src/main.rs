@@ -21,13 +21,14 @@
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
+use voronet_core::snapshot::{FrozenView, RouteScratch, SnapshotStats, ViewRefresh};
 use voronet_core::VoroNetConfig;
 use voronet_net::cluster::{Driver, HostNode, HostReport, LocalCluster, OpOutcome, DRIVER_PEER};
 use voronet_net::tcp::TcpTransport;
 use voronet_net::transport::Transport;
 use voronet_net::udp::UdpTransport;
 use voronet_sim::NetworkModel;
-use voronet_workloads::{Distribution, OpBatchGenerator, OpMix, PointGenerator};
+use voronet_workloads::{Distribution, OpBatchGenerator, OpMix, PointGenerator, WorkloadOp};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TransportKind {
@@ -225,12 +226,48 @@ fn drive_workload<T: Transport>(driver: &mut Driver<T>, args: &Args) -> Result<T
     let mut tally = Tally::default();
     let progress_every = (args.ops / 10).max(1);
     let started = Instant::now();
+    // The driver keeps an epoch-patched frozen view of its authoritative
+    // overlay and cross-checks every distributed route answer against the
+    // local frozen walk — a free end-to-end audit of both the cluster
+    // protocol and the delta-maintenance path under real churn.
+    let mut view: Option<FrozenView> = None;
+    let mut scratch = RouteScratch::new();
+    let mut snap = SnapshotStats::default();
+    let mut verified = 0u64;
+    let mut mismatched = 0u64;
     for (i, op) in batch.iter().enumerate() {
         let outcome = driver.apply(op).map_err(|e| e.to_string())?;
         tally.record(&outcome);
+        if let (WorkloadOp::Route { from, to }, OpOutcome::Route { owner, hops }) = (op, &outcome) {
+            let net = driver.net();
+            let n = net.len();
+            if n > 0 {
+                let from_id = net.id_at(from % n).expect("index below len");
+                let to_id = net.id_at(to % n).expect("index below len");
+                let target = net.coords(to_id).expect("live object");
+                let refresh = match view.as_mut() {
+                    None => {
+                        view = Some(net.freeze());
+                        ViewRefresh::Rebuilt
+                    }
+                    Some(v) => v.refresh(net),
+                };
+                snap.absorb(&refresh);
+                scratch.delta.clear();
+                let frozen = view.as_ref().expect("just built").route_to_point_in(
+                    from_id,
+                    target,
+                    &mut scratch,
+                );
+                match frozen {
+                    Ok((o, h)) if o.0 == *owner && h == *hops => verified += 1,
+                    _ => mismatched += 1,
+                }
+            }
+        }
         if (i + 1) % progress_every == 0 {
             println!(
-                "[drive] {}/{} ops, population {}, {:.1} ops/s | {}",
+                "[drive] {}/{} ops, population {}, {:.1} ops/s | {} | {snap}",
                 i + 1,
                 batch.len(),
                 driver.population(),
@@ -250,6 +287,10 @@ fn drive_workload<T: Transport>(driver: &mut Driver<T>, args: &Args) -> Result<T
         tally.matches,
         tally.visited,
         tally.skipped,
+    );
+    println!(
+        "[drive] frozen cross-check: {verified} routes verified against the delta-patched \
+         view, {mismatched} mismatched | {snap}"
     );
     Ok(tally)
 }

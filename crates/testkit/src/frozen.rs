@@ -3,11 +3,13 @@
 //!
 //! [`FrozenReplay`] drives its own [`VoroNet`] through the same op
 //! sequence as the engines, but serves every read through a [`FrozenView`]
-//! rebuilt lazily after each write barrier — the read path
-//! `SyncEngine::apply_batch` uses for long read runs, here exercised for
-//! *every* read so short runs are covered too.  Traffic deltas are
-//! replayed onto the overlay after each read, which must reproduce the
-//! live engines' counters bit for bit.
+//! kept current by **epoch-keyed delta refresh** ([`FrozenView::refresh`])
+//! — the maintenance path `SyncEngine::apply_batch` relies on, here
+//! exercised at *every* read so each write barrier's patch is covered by
+//! the differential oracle (a faithful run freezes from scratch exactly
+//! once and patches thereafter).  Traffic deltas are replayed onto the
+//! overlay after each read, which must reproduce the live engines'
+//! counters bit for bit.
 //!
 //! [`Fault`] deliberately corrupts this execution (never the shared
 //! production code): the harness's self-test injects a wrong hop count
@@ -17,7 +19,7 @@
 
 use voronet_api::{InsertOutcome, Op, OpResult, OverlayStats, RemoveOutcome, RouteOutcome};
 use voronet_core::queries::{radius_query_in, range_query_in};
-use voronet_core::snapshot::{FrozenView, RouteScratch};
+use voronet_core::snapshot::{FrozenView, RouteScratch, SnapshotStats, ViewRefresh};
 use voronet_core::{ObjectId, OverlayError, VoroNet, VoroNetConfig};
 use voronet_sim::RouteStats;
 
@@ -92,9 +94,18 @@ impl FrozenReplay {
         &mut self,
         walk: impl FnOnce(&FrozenView, &mut RouteScratch) -> Result<(ObjectId, u32), OverlayError>,
     ) -> OpResult {
-        if self.view.is_none() {
-            self.view = Some(self.net.freeze());
-        }
+        // Epoch-keyed maintenance: freeze once, then bring the retained
+        // view forward through the change log at every read — exactly the
+        // delta path the production engine depends on, so the oracle
+        // exercises patching after every interleaved write.
+        let refresh = match self.view.as_mut() {
+            None => {
+                self.view = Some(self.net.freeze());
+                ViewRefresh::Rebuilt
+            }
+            Some(view) => view.refresh(&self.net),
+        };
+        self.net.record_view_refresh(&refresh);
         let view = self.view.as_ref().expect("just built");
         self.scratch.delta.clear();
         match walk(view, &mut self.scratch) {
@@ -111,20 +122,16 @@ impl FrozenReplay {
     /// engine but reading through the frozen snapshot.
     pub fn apply(&mut self, op: &Op) -> OpResult {
         match *op {
-            Op::Insert { position } => {
-                self.view = None;
-                match self.net.insert(position) {
-                    Ok(report) => OpResult::Inserted(InsertOutcome { id: report.id }),
-                    Err(e) => OpResult::Failed(e.into()),
-                }
-            }
-            Op::Remove { id } => {
-                self.view = None;
-                match self.net.remove(id) {
-                    Ok(_) => OpResult::Removed(RemoveOutcome { id }),
-                    Err(e) => OpResult::Failed(e.into()),
-                }
-            }
+            // Writes no longer drop the view: the epoch moves on and the
+            // next read delta-patches the retained snapshot forward.
+            Op::Insert { position } => match self.net.insert(position) {
+                Ok(report) => OpResult::Inserted(InsertOutcome { id: report.id }),
+                Err(e) => OpResult::Failed(e.into()),
+            },
+            Op::Remove { id } => match self.net.remove(id) {
+                Ok(_) => OpResult::Removed(RemoveOutcome { id }),
+                Err(e) => OpResult::Failed(e.into()),
+            },
             Op::Route { from, target } => {
                 self.frozen_route(|view, scratch| view.route_to_point_in(from, target, scratch))
             }
@@ -158,9 +165,17 @@ impl FrozenReplay {
         }
     }
 
-    /// Forces the next read to rebuild its snapshot (used by tests).
+    /// Drops the retained snapshot so the next read freezes from scratch
+    /// instead of delta-patching (used by tests).
     pub fn invalidate(&mut self) {
         self.view = None;
+    }
+
+    /// Snapshot-maintenance economics of this replay: a faithful run over
+    /// a script with interleaved writes shows exactly one full rebuild
+    /// (the first read) and a delta patch per read-after-write barrier.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.net.snapshot_stats()
     }
 }
 
@@ -204,6 +219,51 @@ mod tests {
         for id in engine.ids() {
             assert_eq!(engine.net().sent_by(id), replay.net().sent_by(id));
         }
+    }
+
+    #[test]
+    fn interleaved_writes_take_the_delta_patch_path_and_stay_faithful() {
+        let mut engine = OverlayBuilder::new(200).seed(47).build_sync();
+        let mut replay = FrozenReplay::new(*engine.config(), Fault::None);
+        let mut points = PointGenerator::new(Distribution::Uniform, 47);
+        let mut ops: Vec<Op> = (0..40)
+            .map(|_| Op::Insert {
+                position: points.next_point(),
+            })
+            .collect();
+        // Alternate write barriers and reads so every read after the first
+        // must patch the retained view rather than rebuild it.
+        for i in 0..15u64 {
+            ops.push(Op::RouteBetween {
+                from: ObjectId(i % 30),
+                to: ObjectId((i * 11 + 2) % 30),
+            });
+            ops.push(Op::Remove {
+                id: ObjectId(30 + i),
+            });
+            ops.push(Op::Insert {
+                position: points.next_point(),
+            });
+        }
+        ops.push(Op::RouteBetween {
+            from: ObjectId(1),
+            to: ObjectId(2),
+        });
+        for op in &ops {
+            assert_eq!(engine.apply(op), replay.apply(op), "op {op:?}");
+        }
+        assert_eq!(engine.stats(), replay.stats());
+        let snap = replay.snapshot_stats();
+        assert_eq!(snap.full_rebuilds, 1, "exactly one from-scratch freeze");
+        assert!(
+            snap.delta_patches >= 15,
+            "every read-after-write barrier must patch (got {})",
+            snap.delta_patches
+        );
+        // The retained, many-times-patched view equals a fresh freeze
+        // (the final op was a read, so the view is current).
+        let fresh = replay.net().freeze();
+        assert_eq!(replay.view.as_ref().expect("reads ran"), &fresh);
     }
 
     #[test]

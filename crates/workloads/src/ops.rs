@@ -135,6 +135,27 @@ impl OpMix {
         }
     }
 
+    /// A read/write mix parameterised by read percentage: `read_pct`% of
+    /// the ops are routes, the rest is churn split evenly between inserts
+    /// and removals.  `mixed(99)`, `mixed(95)` and `mixed(80)` are the
+    /// canonical 99:1 / 95:5 / 80:20 traffic shapes used to measure how
+    /// well an epoch-patched frozen read path holds up once writers start
+    /// bumping the snapshot epoch between read runs.  Composable with
+    /// [`OpBatchGenerator::with_zipf_destinations`] for skewed read
+    /// traffic.  `read_pct` is clamped to `0..=100`.
+    pub fn mixed(read_pct: u32) -> Self {
+        let read = f64::from(read_pct.min(100)) / 100.0;
+        let write = 1.0 - read;
+        OpMix {
+            insert: write / 2.0,
+            remove: write / 2.0,
+            route: read,
+            range: 0.0,
+            radius: 0.0,
+            snapshot: 0.0,
+        }
+    }
+
     /// Routes only (the Figure 6 measurement workload, in batch form).
     pub fn routes_only() -> Self {
         OpMix {
@@ -417,6 +438,51 @@ mod tests {
             }
             assert!(pop >= 2, "mix must not script the population below 2");
         }
+    }
+
+    #[test]
+    fn mixed_presets_hit_their_read_write_ratios() {
+        for (pct, lo, hi) in [
+            (99u32, 1_900, 2_000),
+            (95, 1_800, 1_960),
+            (80, 1_480, 1_720),
+        ] {
+            let mut g = OpBatchGenerator::new(Distribution::Uniform, 23, OpMix::mixed(pct));
+            let batch = g.batch(500, 2_000);
+            let routes = batch
+                .iter()
+                .filter(|op| matches!(op, WorkloadOp::Route { .. }))
+                .count();
+            assert!(
+                (lo..=hi).contains(&routes),
+                "mixed({pct}): routes {routes} outside [{lo}, {hi}]"
+            );
+            let inserts = batch
+                .iter()
+                .filter(|op| matches!(op, WorkloadOp::Insert { .. }))
+                .count();
+            let removes = batch
+                .iter()
+                .filter(|op| matches!(op, WorkloadOp::Remove { .. }))
+                .count();
+            // Churn splits evenly and the extremes are clamped sanely.
+            assert_eq!(routes + inserts + removes, 2_000, "no other families");
+            let churn = inserts + removes;
+            assert!(
+                inserts.abs_diff(removes) * 4 <= churn.max(4),
+                "mixed({pct}): churn split {inserts}/{removes}"
+            );
+        }
+        // Degenerate ends: all reads / all writes, with clamping above 100.
+        assert_eq!(OpMix::mixed(100), OpMix::mixed(250));
+        assert_eq!(OpMix::mixed(100).route, 1.0);
+        assert_eq!(OpMix::mixed(0).route, 0.0);
+        // Composes with Zipf-skewed destinations deterministically.
+        let mut a = OpBatchGenerator::new(Distribution::Uniform, 29, OpMix::mixed(95))
+            .with_zipf_destinations(1.0);
+        let mut b = OpBatchGenerator::new(Distribution::Uniform, 29, OpMix::mixed(95))
+            .with_zipf_destinations(1.0);
+        assert_eq!(a.batch(300, 1_000), b.batch(300, 1_000));
     }
 
     #[test]

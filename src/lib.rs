@@ -56,11 +56,12 @@ pub use voronet_workloads as workloads;
 pub mod prelude {
     pub use voronet_api::{
         AsyncEngine, EngineKind, ErrorKind, Op, OpResult, Overlay, OverlayBuilder, SyncEngine,
-        VoronetError,
+        ViewMaintenance, VoronetError,
     };
     pub use voronet_core::{
         radius_query, range_query, FrozenView, JoinReport, LeaveReport, ObjectId, ObjectView,
-        RouteReport, RouteScratch, VoroNet, VoroNetConfig,
+        RouteReport, RouteScratch, SnapshotStats, ViewGenerations, ViewRefresh, VoroNet,
+        VoroNetConfig,
     };
     pub use voronet_geom::{Point2, Rect, Triangulation};
     pub use voronet_stats::{IntHistogram, Series};

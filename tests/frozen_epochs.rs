@@ -1,0 +1,225 @@
+//! Property tests pinning the epoch-patched frozen read path to the
+//! ground truth, in tier-1.
+//!
+//! The tentpole invariant of the incremental `FrozenView`: a view kept
+//! current by [`FrozenView::refresh`] after arbitrary interleaved
+//! insert/remove/route sequences is **bit-identical** to a from-scratch
+//! `freeze()` — same ids in live scan order, same SoA coordinates, same
+//! adjacency rows — and every route walked over it returns the same
+//! `(owner, hops)` and the same per-node message counters as the live
+//! mutable walk.  The double-buffered [`ViewGenerations`] front must
+//! agree with both.  Checked here through the workspace's shrinking
+//! property harness (`voronet_testkit::check_cases`), plus a
+//! deterministic end-to-end pass over the `OpMix::mixed` presets on the
+//! sync engine comparing both maintenance policies element-wise.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use voronet::api::{resolve_workload, Overlay, OverlayBuilder};
+use voronet::prelude::*;
+use voronet_testkit::{check_cases, tk_ensure, tk_ensure_eq};
+
+/// One scripted step of the property: ops are index-named so shrunk
+/// scripts stay meaningful after earlier steps are dropped.
+#[derive(Debug, Clone, PartialEq)]
+enum Step {
+    Insert { x: f64, y: f64 },
+    Remove { pick: usize },
+    Route { from: usize, to: usize },
+}
+
+fn generate_steps(rng: &mut StdRng) -> Vec<Step> {
+    let len = rng.random_range(24..64usize);
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.random();
+            if u < 0.20 {
+                Step::Insert {
+                    x: rng.random(),
+                    y: rng.random(),
+                }
+            } else if u < 0.38 {
+                Step::Remove {
+                    pick: rng.random_range(0..4096usize),
+                }
+            } else {
+                Step::Route {
+                    from: rng.random_range(0..4096usize),
+                    to: rng.random_range(0..4096usize),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs one script against two identically-seeded overlays — one served
+/// by live mutable walks, one by a continuously delta-patched
+/// [`FrozenView`] (and a [`ViewGenerations`] pair advanced at every
+/// read) — and checks bit-identity at every read barrier.
+fn check_script(steps: &[Step]) -> Result<(), String> {
+    let config = VoroNetConfig::new(256);
+    let mut live = VoroNet::new(config);
+    let mut net = VoroNet::new(config);
+    let mut warm = PointGenerator::new(Distribution::Uniform, 0xEB0C);
+    for _ in 0..24 {
+        let p = warm.next_point();
+        let a = live.insert(p).map(|r| r.id).ok();
+        let b = net.insert(p).map(|r| r.id).ok();
+        tk_ensure_eq!(a, b, "warm-up inserts agree");
+    }
+
+    let mut view: Option<FrozenView> = None;
+    let mut gens: Option<ViewGenerations> = None;
+    let mut scratch = RouteScratch::new();
+    for (i, step) in steps.iter().enumerate() {
+        match *step {
+            Step::Insert { x, y } => {
+                let p = Point2::new(x, y);
+                let a = live.insert(p).map(|r| r.id).ok();
+                let b = net.insert(p).map(|r| r.id).ok();
+                tk_ensure_eq!(a, b, "step {i}: insert outcome");
+            }
+            Step::Remove { pick } => {
+                if live.len() <= 8 {
+                    continue;
+                }
+                let id = live.id_at(pick % live.len()).expect("index below len");
+                let a = live.remove(id).map(|_| ()).ok();
+                let b = net.remove(id).map(|_| ()).ok();
+                tk_ensure_eq!(a, b, "step {i}: remove outcome for {id:?}");
+            }
+            Step::Route { from, to } => {
+                if live.len() < 2 {
+                    continue;
+                }
+                let from = live.id_at(from % live.len()).expect("index below len");
+                let to = live.id_at(to % live.len()).expect("index below len");
+                let report = live
+                    .route_between(from, to)
+                    .map_err(|e| format!("step {i}: live route failed: {e}"))?;
+
+                // Retained view: freeze once, then delta-patch forward.
+                let (refresh, view) = match view.as_mut() {
+                    None => {
+                        view = Some(net.freeze());
+                        (ViewRefresh::Rebuilt, view.as_mut().expect("just built"))
+                    }
+                    Some(v) => (v.refresh(&net), v),
+                };
+                net.record_view_refresh(&refresh);
+                tk_ensure_eq!(
+                    view.epoch(),
+                    net.snapshot_epoch(),
+                    "step {i}: refresh reaches the current epoch"
+                );
+
+                // Bit-identity: ids in live scan order, SoA coords and
+                // adjacency rows all equal a from-scratch freeze
+                // (FrozenView::eq compares exactly those).
+                let fresh = net.freeze();
+                tk_ensure!(
+                    *view == fresh,
+                    "step {i}: patched view diverged from a fresh freeze \
+                     (epoch {}, {} nodes)",
+                    view.epoch(),
+                    view.len()
+                );
+
+                // The double-buffered generations flip to an equal front.
+                let gens = gens.get_or_insert_with(|| ViewGenerations::new(&net));
+                gens.advance(&net);
+                tk_ensure!(
+                    *gens.front() == fresh,
+                    "step {i}: generation front diverged from a fresh freeze"
+                );
+
+                // Same walk, same accounting as the live engine.
+                scratch.delta.clear();
+                let (owner, hops) = view
+                    .route_between_in(from, to, &mut scratch)
+                    .map_err(|e| format!("step {i}: frozen route failed: {e}"))?;
+                net.apply_traffic(&scratch.delta);
+                tk_ensure_eq!(owner, report.owner, "step {i}: route owner");
+                tk_ensure_eq!(hops, report.hops, "step {i}: route hops");
+            }
+        }
+    }
+
+    // After the whole interleaving the two overlays agree on membership
+    // order and on every per-node sent counter (the frozen side's traffic
+    // was applied from read deltas).
+    tk_ensure_eq!(live.len(), net.len(), "final population");
+    for idx in 0..live.len() {
+        let a = live.id_at(idx);
+        let b = net.id_at(idx);
+        tk_ensure_eq!(a, b, "dense order at {idx}");
+        let id = a.expect("index below len");
+        tk_ensure_eq!(live.sent_by(id), net.sent_by(id), "sent counter of {id:?}");
+    }
+    Ok(())
+}
+
+#[test]
+fn delta_patched_views_stay_bit_identical_to_fresh_freezes() {
+    check_cases(
+        "frozen-epoch-bit-identity",
+        24,
+        0x5EED_E90C,
+        generate_steps,
+        |steps: &Vec<Step>| check_script(steps),
+    );
+}
+
+/// The engine-level contract across maintenance policies: the same
+/// `OpMix::mixed` script produces element-wise identical results whether
+/// the view is delta-patched or rebuilt at every barrier — and the
+/// incremental engine's economics show it actually patched and reused.
+#[test]
+fn mixed_batches_agree_across_maintenance_policies() {
+    for read_pct in [99u32, 95, 80] {
+        let mut inc = OverlayBuilder::new(400)
+            .seed(61)
+            .build_sync()
+            .with_view_maintenance(ViewMaintenance::Incremental);
+        let mut rebuild = OverlayBuilder::new(400)
+            .seed(61)
+            .build_sync()
+            .with_view_maintenance(ViewMaintenance::RebuildPerBarrier);
+        let mut gen = OpBatchGenerator::new(
+            Distribution::Uniform,
+            u64::from(read_pct),
+            OpMix::mixed(read_pct),
+        )
+        .with_zipf_destinations(0.9);
+        let mut points = PointGenerator::new(Distribution::Uniform, 71);
+        for _ in 0..150 {
+            let p = points.next_point();
+            assert_eq!(
+                inc.insert(p).map(|r| r.id).ok(),
+                rebuild.insert(p).map(|r| r.id).ok()
+            );
+        }
+        for batch in 0..6 {
+            let script = gen.batch(inc.len(), 200);
+            let ops = resolve_workload(&inc, &script);
+            let a = inc.apply_batch(&ops);
+            let b = rebuild.apply_batch(&ops);
+            assert_eq!(a, b, "mixed({read_pct}) batch {batch} diverged");
+        }
+        assert_eq!(inc.stats(), rebuild.stats(), "mixed({read_pct}) stats");
+        let snap = inc.snapshot_stats();
+        assert!(
+            snap.delta_patches > 0,
+            "mixed({read_pct}): incremental engine never patched: {snap}"
+        );
+        assert!(
+            snap.full_rebuilds < snap.delta_patches,
+            "mixed({read_pct}): patches must dominate rebuilds: {snap}"
+        );
+        let base = rebuild.snapshot_stats();
+        assert_eq!(
+            base.delta_patches, 0,
+            "mixed({read_pct}): rebuild-per-barrier must never patch: {base}"
+        );
+    }
+}
