@@ -57,7 +57,9 @@ pub mod workload;
 pub use async_engine::AsyncEngine;
 pub use builder::{EngineKind, OverlayBuilder};
 pub use ops::{
-    InsertOutcome, Op, OpResult, OverlayStats, QueryOutcome, RemoveOutcome, RouteOutcome,
+    DeleteOutcome, GetOutcome, InsertOutcome, Op, OpResult, OverlayStats, PublishOutcome,
+    PutOutcome, QueryOutcome, RemoveOutcome, RouteOutcome, ServiceOp, ServiceResult,
+    SubscribeOutcome, UnsubscribeOutcome,
 };
 pub use overlay::Overlay;
 pub use sync_engine::{SyncEngine, ViewMaintenance};

@@ -10,7 +10,7 @@
 
 use voronet_core::queries::AreaQueryReport;
 use voronet_core::{ObjectId, ObjectView, VoronetError};
-use voronet_geom::Point2;
+use voronet_geom::{Point2, Rect};
 use voronet_workloads::{RadiusQuery, RangeQuery};
 
 /// Outcome of a successful insertion.
@@ -58,6 +58,150 @@ impl From<AreaQueryReport> for QueryOutcome {
             flood_messages: r.flood_messages,
         }
     }
+}
+
+/// One geo-scoped service operation: region pub/sub or coordinate-keyed
+/// KV, executed by the service layer (`voronet-services`) over any
+/// engine.  Payloads are fixed-size tokens (`u64`), keeping the op
+/// `Copy` like every other [`Op`] and trivially wire-encodable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceOp {
+    /// Register (or replace) `id`'s interest in publishes whose region
+    /// intersects `region`.
+    Subscribe {
+        /// The subscribing object.
+        id: ObjectId,
+        /// The spatial region of interest.
+        region: Rect,
+    },
+    /// Drop `id`'s subscription.
+    Unsubscribe {
+        /// The unsubscribing object.
+        id: ObjectId,
+    },
+    /// Publish `payload` to every subscriber resolvable inside `region`
+    /// (delivery rides the area-flood machinery).
+    Publish {
+        /// The publishing object.
+        from: ObjectId,
+        /// The target region — the topic.
+        region: Rect,
+        /// Opaque payload token.
+        payload: u64,
+    },
+    /// Store `value` under `key` at the owner of the key's coordinate.
+    KvPut {
+        /// The requesting object (route origin).
+        from: ObjectId,
+        /// The key; hashes deterministically to a coordinate.
+        key: u64,
+        /// The value token to store.
+        value: u64,
+    },
+    /// Look `key` up at the owner of its coordinate.
+    KvGet {
+        /// The requesting object (route origin).
+        from: ObjectId,
+        /// The key to resolve.
+        key: u64,
+    },
+    /// Delete `key` from the owner of its coordinate.
+    KvDelete {
+        /// The requesting object (route origin).
+        from: ObjectId,
+        /// The key to delete.
+        key: u64,
+    },
+}
+
+/// Outcome of a successful [`ServiceOp::Subscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscribeOutcome {
+    /// The subscriber.
+    pub id: ObjectId,
+    /// True when an earlier subscription of the same object was replaced.
+    pub replaced: bool,
+}
+
+/// Outcome of a successful [`ServiceOp::Unsubscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsubscribeOutcome {
+    /// The unsubscribing object.
+    pub id: ObjectId,
+    /// True when a subscription actually existed.
+    pub existed: bool,
+}
+
+/// Outcome of a successful [`ServiceOp::Publish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Per-topic sequence number assigned to this publish.
+    pub seq: u64,
+    /// Subscribers the publish reached (sorted by id): interested in the
+    /// region *and* resolvable by the area flood.
+    pub delivered: Vec<ObjectId>,
+    /// Interested subscribers the flood could not reach (sorted by id):
+    /// their own coordinates lie outside the published region.
+    pub missed: Vec<ObjectId>,
+    /// Hops of the initial greedy route towards the region.
+    pub routing_hops: u32,
+    /// Objects visited by the resolution flood.
+    pub visited: usize,
+    /// Messages exchanged during the flood.
+    pub flood_messages: u64,
+}
+
+/// Outcome of a successful [`ServiceOp::KvPut`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// The object owning the key's Voronoi cell — the storing node.
+    pub owner: ObjectId,
+    /// The owner's Voronoi neighbours holding replicas (sorted by id).
+    pub replicas: Vec<ObjectId>,
+    /// True when an existing entry was overwritten.
+    pub replaced: bool,
+    /// Hops of the greedy route to the owner.
+    pub hops: u32,
+}
+
+/// Outcome of a successful [`ServiceOp::KvGet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetOutcome {
+    /// The object owning the key's Voronoi cell.
+    pub owner: ObjectId,
+    /// The stored value, `None` when the key is absent at the owner.
+    pub value: Option<u64>,
+    /// Hops of the greedy route to the owner.
+    pub hops: u32,
+}
+
+/// Outcome of a successful [`ServiceOp::KvDelete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteOutcome {
+    /// The object owning the key's Voronoi cell.
+    pub owner: ObjectId,
+    /// True when an entry existed and was removed.
+    pub existed: bool,
+    /// Hops of the greedy route to the owner.
+    pub hops: u32,
+}
+
+/// The success payload of an [`Op::Service`], one variant per
+/// [`ServiceOp`] family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceResult {
+    /// A [`ServiceOp::Subscribe`] succeeded.
+    Subscribed(SubscribeOutcome),
+    /// A [`ServiceOp::Unsubscribe`] completed.
+    Unsubscribed(UnsubscribeOutcome),
+    /// A [`ServiceOp::Publish`] resolved its subscribers.
+    Published(PublishOutcome),
+    /// A [`ServiceOp::KvPut`] stored its entry.
+    Put(PutOutcome),
+    /// A [`ServiceOp::KvGet`] resolved (hit or miss).
+    Got(GetOutcome),
+    /// A [`ServiceOp::KvDelete`] completed.
+    Deleted(DeleteOutcome),
 }
 
 /// Aggregate counters every engine exposes through
@@ -120,6 +264,9 @@ pub enum Op {
         /// The object whose view is captured.
         id: ObjectId,
     },
+    /// A geo-scoped service operation (pub/sub or KV), executed by the
+    /// service layer wrapped around the engine.
+    Service(ServiceOp),
 }
 
 impl Op {
@@ -135,7 +282,10 @@ impl Op {
             | Op::Range { .. }
             | Op::Radius { .. }
             | Op::Snapshot { .. } => true,
-            Op::Insert { .. } | Op::Remove { .. } => false,
+            // Service ops mutate service-layer state (sequence numbers,
+            // KV entries, delivery accounting) even when the underlying
+            // traversal is a read, so they order like writes.
+            Op::Insert { .. } | Op::Remove { .. } | Op::Service(_) => false,
         }
     }
 }
@@ -154,6 +304,8 @@ pub enum OpResult {
     /// An [`Op::Snapshot`] succeeded (boxed: views are large relative to
     /// the other outcomes).
     Snapshotted(Box<ObjectView>),
+    /// An [`Op::Service`] succeeded.
+    Service(ServiceResult),
     /// The operation failed.
     Failed(VoronetError),
 }
@@ -192,6 +344,14 @@ impl OpResult {
     pub fn as_queried(&self) -> Option<&QueryOutcome> {
         match self {
             OpResult::Queried(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The service result, when this is [`OpResult::Service`].
+    pub fn as_service(&self) -> Option<&ServiceResult> {
+        match self {
+            OpResult::Service(r) => Some(r),
             _ => None,
         }
     }

@@ -135,6 +135,10 @@ pub trait Overlay {
                 Ok(v) => OpResult::Snapshotted(Box::new(v)),
                 Err(e) => OpResult::Failed(e),
             },
+            // Service semantics live in the service layer
+            // (`voronet-services`), which wraps an engine and intercepts
+            // these before they ever reach a bare engine.
+            Op::Service(_) => OpResult::Failed(VoronetError::new(ErrorKind::Unsupported)),
         }
     }
 

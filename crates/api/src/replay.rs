@@ -20,7 +20,7 @@
 //! assert_eq!(replay::parse_batch(&text).unwrap(), batch);
 //! ```
 
-use crate::ops::Op;
+use crate::ops::{Op, ServiceOp};
 use voronet_core::ObjectId;
 use voronet_geom::{Point2, Rect};
 use voronet_workloads::{RadiusQuery, RangeQuery};
@@ -58,6 +58,24 @@ pub fn encode_op(op: &Op) -> String {
             from.0, query.center.x, query.center.y, query.radius
         ),
         Op::Snapshot { id } => format!("snapshot {}", id.0),
+        Op::Service(service) => match service {
+            ServiceOp::Subscribe { id, region } => format!(
+                "subscribe {} {} {} {} {}",
+                id.0, region.min.x, region.min.y, region.max.x, region.max.y
+            ),
+            ServiceOp::Unsubscribe { id } => format!("unsubscribe {}", id.0),
+            ServiceOp::Publish {
+                from,
+                region,
+                payload,
+            } => format!(
+                "publish {} {} {} {} {} {payload}",
+                from.0, region.min.x, region.min.y, region.max.x, region.max.y
+            ),
+            ServiceOp::KvPut { from, key, value } => format!("kv_put {} {key} {value}", from.0),
+            ServiceOp::KvGet { from, key } => format!("kv_get {} {key}", from.0),
+            ServiceOp::KvDelete { from, key } => format!("kv_delete {} {key}", from.0),
+        },
     }
 }
 
@@ -162,6 +180,31 @@ pub fn parse_op(text: &str, line: usize) -> Result<Op, ReplayParseError> {
         "snapshot" => Op::Snapshot {
             id: ObjectId(f.u64()?),
         },
+        "subscribe" => Op::Service(ServiceOp::Subscribe {
+            id: ObjectId(f.u64()?),
+            region: Rect::new(f.point()?, f.point()?),
+        }),
+        "unsubscribe" => Op::Service(ServiceOp::Unsubscribe {
+            id: ObjectId(f.u64()?),
+        }),
+        "publish" => Op::Service(ServiceOp::Publish {
+            from: ObjectId(f.u64()?),
+            region: Rect::new(f.point()?, f.point()?),
+            payload: f.u64()?,
+        }),
+        "kv_put" => Op::Service(ServiceOp::KvPut {
+            from: ObjectId(f.u64()?),
+            key: f.u64()?,
+            value: f.u64()?,
+        }),
+        "kv_get" => Op::Service(ServiceOp::KvGet {
+            from: ObjectId(f.u64()?),
+            key: f.u64()?,
+        }),
+        "kv_delete" => Op::Service(ServiceOp::KvDelete {
+            from: ObjectId(f.u64()?),
+            key: f.u64()?,
+        }),
         other => return Err(err(line, format!("unknown op verb {other:?}"))),
     };
     f.finish()?;
@@ -214,6 +257,29 @@ mod tests {
                 },
             },
             Op::Snapshot { id: ObjectId(11) },
+            Op::Service(ServiceOp::Subscribe {
+                id: ObjectId(4),
+                region: Rect::new(Point2::new(0.25, 0.25), Point2::new(0.75, 0.8)),
+            }),
+            Op::Service(ServiceOp::Unsubscribe { id: ObjectId(4) }),
+            Op::Service(ServiceOp::Publish {
+                from: ObjectId(2),
+                region: Rect::new(Point2::new(0.1, 0.1), Point2::new(0.2, 0.30000000000000004)),
+                payload: u64::MAX,
+            }),
+            Op::Service(ServiceOp::KvPut {
+                from: ObjectId(1),
+                key: 0xDEAD_BEEF,
+                value: 17,
+            }),
+            Op::Service(ServiceOp::KvGet {
+                from: ObjectId(1),
+                key: 0xDEAD_BEEF,
+            }),
+            Op::Service(ServiceOp::KvDelete {
+                from: ObjectId(0),
+                key: 0,
+            }),
         ]
     }
 

@@ -199,7 +199,7 @@ impl SyncEngine {
                 Ok(v) => OpResult::Snapshotted(Box::new(v)),
                 Err(e) => OpResult::Failed(e.into()),
             },
-            Op::Insert { .. } | Op::Remove { .. } => {
+            Op::Insert { .. } | Op::Remove { .. } | Op::Service(_) => {
                 unreachable!("read runs contain only read-only ops")
             }
         }

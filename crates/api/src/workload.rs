@@ -8,7 +8,7 @@
 //! dense sampling order that tracks the script's own removals with the
 //! same swap-remove discipline the engines use.
 
-use crate::ops::Op;
+use crate::ops::{Op, ServiceOp};
 use crate::overlay::Overlay;
 use voronet_core::ObjectId;
 use voronet_workloads::WorkloadOp;
@@ -68,6 +68,65 @@ pub fn resolve_workload(overlay: &dyn Overlay, script: &[WorkloadOp]) -> Vec<Op>
                 ops.push(Op::Snapshot {
                     id: mirror[index % mirror.len()],
                 });
+            }
+            WorkloadOp::Subscribe { index, region } => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                ops.push(Op::Service(ServiceOp::Subscribe {
+                    id: mirror[index % mirror.len()],
+                    region,
+                }));
+            }
+            WorkloadOp::Unsubscribe { index } => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                ops.push(Op::Service(ServiceOp::Unsubscribe {
+                    id: mirror[index % mirror.len()],
+                }));
+            }
+            WorkloadOp::Publish {
+                from,
+                region,
+                payload,
+            } => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                ops.push(Op::Service(ServiceOp::Publish {
+                    from: mirror[from % mirror.len()],
+                    region,
+                    payload,
+                }));
+            }
+            WorkloadOp::KvPut { from, key, value } => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                ops.push(Op::Service(ServiceOp::KvPut {
+                    from: mirror[from % mirror.len()],
+                    key,
+                    value,
+                }));
+            }
+            WorkloadOp::KvGet { from, key } => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                ops.push(Op::Service(ServiceOp::KvGet {
+                    from: mirror[from % mirror.len()],
+                    key,
+                }));
+            }
+            WorkloadOp::KvDelete { from, key } => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                ops.push(Op::Service(ServiceOp::KvDelete {
+                    from: mirror[from % mirror.len()],
+                    key,
+                }));
             }
         }
     }

@@ -34,6 +34,10 @@ pub enum ErrorKind {
     /// A structural invariant of the overlay does not hold (the context
     /// carries the diagnostic).
     InvariantViolation,
+    /// The engine does not implement the requested operation family
+    /// (e.g. a service op applied to a bare engine without the service
+    /// layer wrapped around it).
+    Unsupported,
 }
 
 /// The single error type of the overlay API: what went wrong
@@ -104,6 +108,9 @@ impl std::fmt::Display for ErrorKind {
                 )
             }
             ErrorKind::InvariantViolation => write!(f, "overlay invariant violated"),
+            ErrorKind::Unsupported => {
+                write!(f, "the engine does not support this operation")
+            }
         }
     }
 }

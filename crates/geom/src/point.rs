@@ -251,6 +251,16 @@ impl Rect {
         p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
     }
 
+    /// Returns `true` when the two rectangles share at least one point
+    /// (closed-interval semantics: touching edges intersect).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
     /// Clamps a point to the rectangle.
     #[inline]
     pub fn clamp(&self, p: Point2) -> Point2 {

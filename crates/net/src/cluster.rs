@@ -26,12 +26,26 @@
 //! sets — asserted by the in-process tests below and by the
 //! multi-process loopback-UDP test in `crates/node`.
 //!
+//! ## Services
+//!
+//! The cluster also hosts the geo-scoped service plane of
+//! `voronet-services`: region subscriptions live on the subscriber's
+//! host ([`WireMsg::SvcSubscribe`]), publications resolve through the
+//! distributed area flood and are delivered host-by-host
+//! ([`WireMsg::SvcDeliver`], deduplicated by a per-topic ledger), and
+//! coordinate-keyed KV entries are physically stored at the host of the
+//! owning cell's object ([`WireMsg::SvcKvStore`]) and *migrate over the
+//! wire* when churn moves the owning cell — a [`WireMsg::SvcKvFetch`]
+//! always reads from whatever host currently owns the key's coordinates.
+//! Driver-side control state mirrors the single-process
+//! `ServiceEngine` semantics, so the simulated and deployed paths agree.
+//!
 //! ## Loss tolerance
 //!
 //! Every request the driver issues carries a fresh correlation token per
-//! attempt and is retried on timeout; view pushes are resent until
-//! acked; flood coordinators retransmit unanswered probes.  Handlers are
-//! idempotent, so duplication from retries is harmless.
+//! attempt and is retried on timeout; view pushes and service pushes are
+//! resent until acked; flood coordinators retransmit unanswered probes.
+//! Handlers are idempotent, so duplication from retries is harmless.
 
 use crate::transport::{PeerId, Transport, TransportError};
 use crate::wire::{EntryList, IdList, PointList, WireMsg, WirePurpose, WireQuery};
@@ -39,7 +53,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::time::{Duration, Instant};
 use voronet_core::{JoinError, VoroNet, VoroNetConfig};
-use voronet_geom::{voronoi_cell, Point2, Polygon};
+use voronet_geom::{voronoi_cell, Point2, Polygon, Rect};
+use voronet_services::{key_point, topic_key};
 use voronet_sim::TransportStats;
 use voronet_workloads::{RadiusQuery, RangeQuery, WorkloadOp};
 
@@ -107,6 +122,63 @@ pub enum OpOutcome {
         /// Objects visited by the flood.
         visited: u32,
     },
+    /// Subscribe: the subscriber's id and whether a previous
+    /// subscription was replaced.
+    Subscribed {
+        /// Subscribing object.
+        id: u64,
+        /// True when the object was already subscribed.
+        replaced: bool,
+    },
+    /// Unsubscribe: the object's id and whether a subscription existed.
+    Unsubscribed {
+        /// Unsubscribing object.
+        id: u64,
+        /// True when a subscription was dropped.
+        existed: bool,
+    },
+    /// Publish: the per-topic sequence number and the resolved
+    /// subscriber split.
+    Published {
+        /// Sequence number of this publication on its topic.
+        topic_seq: u64,
+        /// Subscribers delivered to (ascending by id).
+        delivered: Vec<u64>,
+        /// Subscribers whose region intersects the publication but whose
+        /// own coordinates fall outside it (ascending by id).
+        missed: Vec<u64>,
+        /// Hops of the initial greedy route of the resolution flood.
+        hops: u32,
+        /// Objects visited by the resolution flood.
+        visited: u32,
+    },
+    /// KV put: where the entry now lives.
+    KvStored {
+        /// The entry's key.
+        key: u64,
+        /// The owning cell's object.
+        owner: u64,
+        /// True when an existing entry was overwritten.
+        replaced: bool,
+    },
+    /// KV get: the value fetched from the owning cell's host.
+    KvFetched {
+        /// The queried key.
+        key: u64,
+        /// The owning cell's object.
+        owner: u64,
+        /// The stored value, `None` when the key is absent.
+        value: Option<u64>,
+    },
+    /// KV delete: whether an entry was dropped.
+    KvDropped {
+        /// The deleted key.
+        key: u64,
+        /// The owning cell's object.
+        owner: u64,
+        /// True when an entry existed.
+        existed: bool,
+    },
     /// The operation does not apply to a cluster (e.g. `Snapshot`).
     Skipped,
 }
@@ -143,6 +215,15 @@ struct PendingPush {
     frame: Vec<u8>,
 }
 
+/// Driver-side control record of one coordinate-keyed entry: its value
+/// and the object whose Voronoi cell currently stores it (the data
+/// itself lives at that object's host).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct KvPlacement {
+    value: u64,
+    owner: u64,
+}
+
 /// The cluster controller: authoritative tessellation + view
 /// distribution + request/answer correlation.  Generic over the
 /// transport, so the same driver runs on vnet, UDP and TCP.
@@ -154,6 +235,10 @@ pub struct Driver<T: Transport> {
     seqs: HashMap<u64, u64>,
     next_token: u64,
     buf: Vec<u8>,
+    subs: HashMap<u64, Rect>,
+    topic_seqs: HashMap<[u64; 4], u64>,
+    kv: HashMap<u64, KvPlacement>,
+    svc_seqs: HashMap<u64, u64>,
 }
 
 impl<T: Transport> Driver<T> {
@@ -168,6 +253,10 @@ impl<T: Transport> Driver<T> {
             seqs: HashMap::new(),
             next_token: 1,
             buf: Vec::new(),
+            subs: HashMap::new(),
+            topic_seqs: HashMap::new(),
+            kv: HashMap::new(),
+            svc_seqs: HashMap::new(),
         }
     }
 
@@ -304,6 +393,7 @@ impl<T: Transport> Driver<T> {
             Ok(report) => {
                 let id = report.id.0;
                 self.sync_views(&[])?;
+                self.rebalance_kv()?;
                 Ok(Some(id))
             }
             Err(JoinError::DuplicatePosition(_)) => Ok(None),
@@ -325,6 +415,10 @@ impl<T: Transport> Driver<T> {
         match self.net.remove(id) {
             Ok(_) => {
                 self.sync_views(&[id.0])?;
+                // The evicted host dropped the departed object's service
+                // state with it; the driver's control state follows.
+                self.subs.remove(&id.0);
+                self.rebalance_kv()?;
                 Ok(Some(id.0))
             }
             Err(_) => Ok(None),
@@ -457,6 +551,349 @@ impl<T: Transport> Driver<T> {
         Ok(outcome)
     }
 
+    // -- service plane ------------------------------------------------
+
+    /// Bumps and returns the service push sequence number of one object.
+    fn svc_seq(&mut self, object: u64) -> u64 {
+        let seq = self.svc_seqs.entry(object).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// Queues one pre-encoded service push for [`Self::flush_service_pushes`].
+    fn queue_service_push(
+        &mut self,
+        pending: &mut HashMap<(u64, u64), PendingPush>,
+        object: u64,
+        build: impl FnOnce(u64) -> WireMsg<'static>,
+    ) {
+        let seq = self.svc_seq(object);
+        let peer = host_of(object, self.hosts);
+        let mut frame = Vec::new();
+        build(seq)
+            .encode(DRIVER_PEER, peer, &mut frame)
+            .expect("service pushes are tiny");
+        pending.insert((object, seq), PendingPush { peer, frame });
+    }
+
+    /// Sends queued service pushes and blocks until every one is acked,
+    /// resending on a timer (the `sync_views` discipline).
+    fn flush_service_pushes(
+        &mut self,
+        mut pending: HashMap<(u64, u64), PendingPush>,
+    ) -> Result<(), ClusterError> {
+        for push in pending.values() {
+            self.t.send(push.peer, &push.frame)?;
+        }
+        let overall = Instant::now();
+        let mut last_resend = Instant::now();
+        let mut buf = Vec::new();
+        while !pending.is_empty() {
+            if overall.elapsed() > SYNC_DEADLINE {
+                return Err(ClusterError::Timeout("service push acks"));
+            }
+            match self.t.recv_into(&mut buf)? {
+                Some(_) => {
+                    if let Ok((_, WireMsg::SvcAck { object, seq })) = WireMsg::decode(&buf) {
+                        pending.remove(&(object, seq));
+                    }
+                }
+                None => {
+                    if last_resend.elapsed() > ACK_RESEND {
+                        for push in pending.values() {
+                            self.t.send(push.peer, &push.frame)?;
+                        }
+                        last_resend = Instant::now();
+                    }
+                    self.t.poll()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes from a live object towards an arbitrary point through the
+    /// distributed overlay, returning the owning object and hop count.
+    fn route_point_from(
+        &mut self,
+        from_id: u64,
+        target: Point2,
+    ) -> Result<(u64, u32), ClusterError> {
+        let token = self.fresh_token();
+        let mut frame = Vec::new();
+        WireMsg::RouteReq {
+            token,
+            from_object: from_id,
+            target,
+        }
+        .encode(DRIVER_PEER, host_of(from_id, self.hosts), &mut frame)
+        .expect("route request is tiny");
+        match self.request(host_of(from_id, self.hosts), &frame, token, "kv route")? {
+            (_, OpOutcome::Route { owner, hops }) => Ok((owner, hops)),
+            _ => Err(ClusterError::Timeout("kv route")),
+        }
+    }
+
+    /// Subscribes the `index`-th live object (modulo the population) to a
+    /// region, installing the subscription on the object's host.
+    pub fn subscribe(&mut self, index: usize, region: Rect) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let id = self.net.id_at(index % self.net.len()).expect("live").0;
+        let replaced = self.subs.insert(id, region).is_some();
+        let mut pending = HashMap::new();
+        self.queue_service_push(&mut pending, id, |seq| WireMsg::SvcSubscribe {
+            object: id,
+            seq,
+            region,
+        });
+        self.flush_service_pushes(pending)?;
+        Ok(OpOutcome::Subscribed { id, replaced })
+    }
+
+    /// Drops the `index`-th live object's subscription.
+    pub fn unsubscribe(&mut self, index: usize) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let id = self.net.id_at(index % self.net.len()).expect("live").0;
+        let existed = self.subs.remove(&id).is_some();
+        let mut pending = HashMap::new();
+        self.queue_service_push(&mut pending, id, |seq| WireMsg::SvcUnsubscribe {
+            object: id,
+            seq,
+        });
+        self.flush_service_pushes(pending)?;
+        Ok(OpOutcome::Unsubscribed { id, existed })
+    }
+
+    /// Publishes a payload to every subscriber inside `region`: resolves
+    /// the recipients through the distributed area flood, then delivers
+    /// host-by-host.  Subscribers whose subscribed region intersects the
+    /// publication but who sit outside it are reported as missed.
+    pub fn publish(
+        &mut self,
+        from: usize,
+        region: Rect,
+        payload: u64,
+    ) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let OpOutcome::Matches {
+            matches,
+            hops,
+            visited,
+        } = self.range_query(from, RangeQuery { rect: region })?
+        else {
+            return Ok(OpOutcome::Skipped);
+        };
+        let topic = topic_key(&region);
+        let seq = self.topic_seqs.entry(topic).or_insert(0);
+        *seq += 1;
+        let topic_seq = *seq;
+        let mut subscribers: Vec<(u64, Rect)> = self.subs.iter().map(|(&id, &r)| (id, r)).collect();
+        subscribers.sort_unstable_by_key(|&(id, _)| id);
+        let mut delivered = Vec::new();
+        let mut missed = Vec::new();
+        for (id, sub_region) in subscribers {
+            if !sub_region.intersects(&region) {
+                continue;
+            }
+            if matches.binary_search(&id).is_ok() {
+                delivered.push(id);
+            } else {
+                missed.push(id);
+            }
+        }
+        let mut pending = HashMap::new();
+        for &id in &delivered {
+            self.queue_service_push(&mut pending, id, |seq| WireMsg::SvcDeliver {
+                object: id,
+                seq,
+                topic,
+                topic_seq,
+                payload,
+            });
+        }
+        self.flush_service_pushes(pending)?;
+        Ok(OpOutcome::Published {
+            topic_seq,
+            delivered,
+            missed,
+            hops,
+            visited,
+        })
+    }
+
+    /// Stores `key → value` at the host of the object whose Voronoi cell
+    /// contains the key's coordinates, located by a distributed route
+    /// from the `from`-th live object.
+    pub fn kv_put(&mut self, from: usize, key: u64, value: u64) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
+        let target = key_point(key, self.net.config().domain);
+        let (owner, _) = self.route_point_from(from_id, target)?;
+        let old = self.kv.insert(key, KvPlacement { value, owner });
+        let mut pending = HashMap::new();
+        self.queue_service_push(&mut pending, owner, |seq| WireMsg::SvcKvStore {
+            object: owner,
+            seq,
+            key,
+            value,
+        });
+        if let Some(old) = old {
+            if old.owner != owner {
+                self.queue_service_push(&mut pending, old.owner, |seq| WireMsg::SvcKvDrop {
+                    object: old.owner,
+                    seq,
+                    key,
+                });
+            }
+        }
+        self.flush_service_pushes(pending)?;
+        Ok(OpOutcome::KvStored {
+            key,
+            owner,
+            replaced: old.is_some(),
+        })
+    }
+
+    /// Reads `key` from the host of the owning cell's object — the route
+    /// decides the owner, so a get issued after churn reads from
+    /// wherever the entry migrated to.
+    pub fn kv_get(&mut self, from: usize, key: u64) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
+        let target = key_point(key, self.net.config().domain);
+        let (owner, _) = self.route_point_from(from_id, target)?;
+        let value = self.fetch_value(owner, key)?;
+        Ok(OpOutcome::KvFetched { key, owner, value })
+    }
+
+    /// Deletes `key` from the host of the owning cell's object.
+    pub fn kv_delete(&mut self, from: usize, key: u64) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
+        let target = key_point(key, self.net.config().domain);
+        let (owner, _) = self.route_point_from(from_id, target)?;
+        let existed = self.kv.remove(&key).is_some();
+        let mut pending = HashMap::new();
+        self.queue_service_push(&mut pending, owner, |seq| WireMsg::SvcKvDrop {
+            object: owner,
+            seq,
+            key,
+        });
+        self.flush_service_pushes(pending)?;
+        Ok(OpOutcome::KvDropped {
+            key,
+            owner,
+            existed,
+        })
+    }
+
+    /// Issues one `SvcKvFetch` and waits for its token-matched
+    /// `SvcKvValue`, retrying with a fresh token on timeout.
+    fn fetch_value(&mut self, owner: u64, key: u64) -> Result<Option<u64>, ClusterError> {
+        let peer = host_of(owner, self.hosts);
+        for _ in 0..OP_RETRIES {
+            let token = self.fresh_token();
+            let mut frame = Vec::new();
+            WireMsg::SvcKvFetch {
+                token,
+                object: owner,
+                key,
+            }
+            .encode(DRIVER_PEER, peer, &mut frame)
+            .expect("kv fetch is tiny");
+            self.t.send(peer, &frame)?;
+            let start = Instant::now();
+            let mut buf = Vec::new();
+            while start.elapsed() < OP_TIMEOUT {
+                match self.t.recv_into(&mut buf)? {
+                    Some(_) => {
+                        if let Ok((_, WireMsg::SvcKvValue { token: t, value })) =
+                            WireMsg::decode(&buf)
+                        {
+                            if t == token {
+                                return Ok(value);
+                            }
+                        }
+                    }
+                    None => self.t.poll()?,
+                }
+            }
+        }
+        Err(ClusterError::Timeout("kv fetch"))
+    }
+
+    /// Recomputes every KV entry's owning cell against the authoritative
+    /// tessellation after churn and migrates entries whose owner changed:
+    /// the value is re-stored at the new owner's host and dropped from
+    /// the old one's (handoff).  Ties break towards the lower id, the
+    /// exact rule of the single-process `ServiceEngine`.
+    fn rebalance_kv(&mut self) -> Result<(), ClusterError> {
+        if self.kv.is_empty() && self.subs.is_empty() {
+            return Ok(());
+        }
+        if self.net.is_empty() {
+            // Mirror the service-engine rule: an emptied overlay drops
+            // all membership-derived state (topic sequences persist).
+            self.kv.clear();
+            self.subs.clear();
+            return Ok(());
+        }
+        let domain = self.net.config().domain;
+        let live: Vec<(u64, Point2)> = self
+            .net
+            .ids()
+            .map(|id| (id.0, self.net.coords(id).expect("live")))
+            .collect();
+        let mut moves: Vec<(u64, u64, u64, u64)> = Vec::new(); // (key, value, old, new)
+        for (&key, placement) in &self.kv {
+            let kp = key_point(key, domain);
+            let new_owner = live
+                .iter()
+                .map(|&(id, c)| (c.distance2(kp), id))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+                .expect("non-empty overlay")
+                .1;
+            if new_owner != placement.owner {
+                moves.push((key, placement.value, placement.owner, new_owner));
+            }
+        }
+        if moves.is_empty() {
+            return Ok(());
+        }
+        let mut pending = HashMap::new();
+        for &(key, value, old, new) in &moves {
+            self.kv.insert(key, KvPlacement { value, owner: new });
+            self.queue_service_push(&mut pending, new, |seq| WireMsg::SvcKvStore {
+                object: new,
+                seq,
+                key,
+                value,
+            });
+            // A departed owner's host already dropped the entry when the
+            // object was evicted; only live former owners need the drop.
+            if self.net.coords(voronet_core::ObjectId(old)).is_some() {
+                self.queue_service_push(&mut pending, old, |seq| WireMsg::SvcKvDrop {
+                    object: old,
+                    seq,
+                    key,
+                });
+            }
+        }
+        self.flush_service_pushes(pending)
+    }
+
     /// Applies one scripted [`WorkloadOp`] to the cluster.
     pub fn apply(&mut self, op: &WorkloadOp) -> Result<OpOutcome, ClusterError> {
         match *op {
@@ -466,6 +903,16 @@ impl<T: Transport> Driver<T> {
             WorkloadOp::Range { from, query } => self.range_query(from, query),
             WorkloadOp::Radius { from, query } => self.radius_query(from, query),
             WorkloadOp::Snapshot { .. } => Ok(OpOutcome::Skipped),
+            WorkloadOp::Subscribe { index, region } => self.subscribe(index, region),
+            WorkloadOp::Unsubscribe { index } => self.unsubscribe(index),
+            WorkloadOp::Publish {
+                from,
+                region,
+                payload,
+            } => self.publish(from, region, payload),
+            WorkloadOp::KvPut { from, key, value } => self.kv_put(from, key, value),
+            WorkloadOp::KvGet { from, key } => self.kv_get(from, key),
+            WorkloadOp::KvDelete { from, key } => self.kv_delete(from, key),
         }
     }
 
@@ -600,6 +1047,12 @@ pub struct HostNode<T: Transport> {
     hosts: u64,
     objects: HashMap<u64, Hosted>,
     floods: HashMap<u64, Flood>,
+    subs: HashMap<u64, Rect>,
+    seen: HashMap<(u64, [u64; 4]), u64>,
+    kv: HashMap<(u64, u64), u64>,
+    svc_applied: HashMap<u64, u64>,
+    deliveries: u64,
+    duplicates: u64,
     ops_served: u64,
     shutdown: bool,
 }
@@ -614,6 +1067,12 @@ impl<T: Transport> HostNode<T> {
             hosts,
             objects: HashMap::new(),
             floods: HashMap::new(),
+            subs: HashMap::new(),
+            seen: HashMap::new(),
+            kv: HashMap::new(),
+            svc_applied: HashMap::new(),
+            deliveries: 0,
+            duplicates: 0,
             ops_served: 0,
             shutdown: false,
         }
@@ -622,6 +1081,21 @@ impl<T: Transport> HostNode<T> {
     /// Number of objects currently hosted here.
     pub fn hosted(&self) -> usize {
         self.objects.len()
+    }
+
+    /// Publications delivered first-time to objects hosted here.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Duplicate deliveries filtered by the per-topic ledger.
+    pub fn duplicate_deliveries(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// KV entries currently stored here on behalf of hosted owners.
+    pub fn kv_entries(&self) -> usize {
+        self.kv.len()
     }
 
     /// Protocol operations served so far.
@@ -763,6 +1237,13 @@ impl<T: Transport> HostNode<T> {
                 {
                     self.objects.remove(&object);
                 }
+                // The departed object's service state leaves with it:
+                // subscription, delivery ledger, and the KV entries its
+                // cell stored (ids are never reused, so clearing on a
+                // duplicate evict is harmless).
+                self.subs.remove(&object);
+                self.seen.retain(|&(o, _), _| o != object);
+                self.kv.retain(|&(o, _), _| o != object);
                 self.reply(header.from, WireMsg::EvictAck { object, seq })?;
             }
             WireMsg::RouteReq {
@@ -878,6 +1359,67 @@ impl<T: Transport> HostNode<T> {
                     self.pump_flood(token)?;
                 }
             }
+            WireMsg::SvcSubscribe {
+                object,
+                seq,
+                region,
+            } => {
+                if self.fresh_service_push(object, seq) {
+                    self.ops_served += 1;
+                    self.subs.insert(object, region);
+                }
+                self.reply(header.from, WireMsg::SvcAck { object, seq })?;
+            }
+            WireMsg::SvcUnsubscribe { object, seq } => {
+                if self.fresh_service_push(object, seq) {
+                    self.ops_served += 1;
+                    self.subs.remove(&object);
+                }
+                self.reply(header.from, WireMsg::SvcAck { object, seq })?;
+            }
+            WireMsg::SvcDeliver {
+                object,
+                seq,
+                topic,
+                topic_seq,
+                payload: _,
+            } => {
+                if self.fresh_service_push(object, seq) {
+                    self.ops_served += 1;
+                    let entry = self.seen.entry((object, topic)).or_insert(0);
+                    if topic_seq > *entry {
+                        *entry = topic_seq;
+                        self.deliveries += 1;
+                    } else {
+                        self.duplicates += 1;
+                    }
+                }
+                self.reply(header.from, WireMsg::SvcAck { object, seq })?;
+            }
+            WireMsg::SvcKvStore {
+                object,
+                seq,
+                key,
+                value,
+            } => {
+                if self.fresh_service_push(object, seq) {
+                    self.ops_served += 1;
+                    self.kv.insert((object, key), value);
+                }
+                self.reply(header.from, WireMsg::SvcAck { object, seq })?;
+            }
+            WireMsg::SvcKvDrop { object, seq, key } => {
+                if self.fresh_service_push(object, seq) {
+                    self.ops_served += 1;
+                    self.kv.remove(&(object, key));
+                }
+                self.reply(header.from, WireMsg::SvcAck { object, seq })?;
+            }
+            WireMsg::SvcKvFetch { token, object, key } => {
+                self.ops_served += 1;
+                let value = self.kv.get(&(object, key)).copied();
+                self.reply(header.from, WireMsg::SvcKvValue { token, value })?;
+            }
             WireMsg::StatsReq => {
                 self.reply(
                     header.from,
@@ -894,6 +1436,8 @@ impl<T: Transport> HostNode<T> {
             | WireMsg::AnswerOwner { .. }
             | WireMsg::AnswerMatches { .. }
             | WireMsg::StatsReply { .. }
+            | WireMsg::SvcKvValue { .. }
+            | WireMsg::SvcAck { .. }
             | WireMsg::Join { .. }
             | WireMsg::NeighborUpdate
             | WireMsg::Leave
@@ -901,6 +1445,18 @@ impl<T: Transport> HostNode<T> {
             | WireMsg::Answer { .. } => {}
         }
         Ok(())
+    }
+
+    /// The per-object push-sequence filter: true exactly once per push,
+    /// false for duplicates from ack-timeout resends.
+    fn fresh_service_push(&mut self, object: u64, seq: u64) -> bool {
+        let applied = self.svc_applied.entry(object).or_insert(0);
+        if seq > *applied {
+            *applied = seq;
+            true
+        } else {
+            false
+        }
     }
 
     fn reply(&mut self, to: PeerId, msg: WireMsg<'_>) -> Result<(), ClusterError> {
@@ -1301,6 +1857,130 @@ mod tests {
                 }
             }
         }
+        let reports = cluster.shutdown().unwrap();
+        assert!(reports.iter().any(|r| r.ops_served > 0));
+    }
+
+    #[test]
+    fn service_plane_pubsub_and_kv_handoff() {
+        let mut cluster = LocalCluster::start(
+            3,
+            VoroNetConfig::new(512).with_seed(5),
+            NetworkModel::ideal(),
+        );
+        let points = PointGenerator::new(Distribution::Uniform, 23).take_points(40);
+        for &p in &points {
+            cluster.driver().insert(p).unwrap();
+        }
+        let driver = cluster.driver();
+        let n = driver.population();
+
+        // Everyone subscribes to the full domain, so a publication's
+        // delivered set must equal the distributed flood's match set and
+        // everyone else is missed.
+        let domain = Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        for i in 0..n {
+            let outcome = driver.subscribe(i, domain).unwrap();
+            assert!(matches!(
+                outcome,
+                OpOutcome::Subscribed {
+                    replaced: false,
+                    ..
+                }
+            ));
+        }
+        let region = Rect::new(Point2::new(0.2, 0.2), Point2::new(0.7, 0.7));
+        let OpOutcome::Published {
+            topic_seq,
+            delivered,
+            missed,
+            ..
+        } = driver.publish(0, region, 99).unwrap()
+        else {
+            panic!("publish on a populated overlay must resolve")
+        };
+        assert_eq!(topic_seq, 1);
+        let mut oracle = oracle_with_inserts(5, &points);
+        let from = oracle.id_at(0).unwrap();
+        let expected =
+            queries::range_query(&mut oracle, from, RangeQuery { rect: region }).unwrap();
+        let expected_ids: Vec<u64> = expected.matches.iter().map(|m| m.0).collect();
+        assert_eq!(delivered, expected_ids);
+        let missed_expected: Vec<u64> = oracle
+            .ids()
+            .map(|id| id.0)
+            .filter(|id| !expected_ids.contains(id))
+            .collect();
+        let mut missed_sorted = missed;
+        missed_sorted.sort_unstable();
+        let mut missed_expected = missed_expected;
+        missed_expected.sort_unstable();
+        assert_eq!(missed_sorted, missed_expected);
+        // Same topic again: the per-topic sequence climbs.
+        let OpOutcome::Published { topic_seq, .. } = driver.publish(1, region, 100).unwrap() else {
+            panic!("publish must resolve")
+        };
+        assert_eq!(topic_seq, 2);
+
+        // KV round-trip through the hosts.
+        let key = 0xC0FFEEu64;
+        let OpOutcome::KvStored {
+            owner,
+            replaced: false,
+            ..
+        } = driver.kv_put(3, key, 41).unwrap()
+        else {
+            panic!("kv_put must store")
+        };
+        let OpOutcome::KvFetched {
+            value,
+            owner: fetched_owner,
+            ..
+        } = driver.kv_get(7, key).unwrap()
+        else {
+            panic!("kv_get must resolve")
+        };
+        assert_eq!(value, Some(41));
+        assert_eq!(fetched_owner, owner);
+        let OpOutcome::KvStored { replaced: true, .. } = driver.kv_put(4, key, 42).unwrap() else {
+            panic!("second put must replace")
+        };
+
+        // Churn-driven handoff: a new node lands exactly on the key's
+        // coordinates, takes over the owning cell, and the stored entry
+        // must follow it to the new owner's host.
+        let kp = key_point(key, driver.net().config().domain);
+        let new_id = driver.insert(kp).unwrap().expect("fresh position");
+        let OpOutcome::KvFetched { value, owner, .. } = driver.kv_get(9, key).unwrap() else {
+            panic!("kv_get must resolve")
+        };
+        assert_eq!(owner, new_id, "the on-key node must own the entry");
+        assert_eq!(value, Some(42), "the value must survive the handoff");
+
+        // Removing the new owner hands the entry back to a survivor.
+        let n = driver.population();
+        let idx = (0..n)
+            .position(|i| driver.net().id_at(i) == Some(voronet_core::ObjectId(new_id)))
+            .expect("new node is live");
+        assert_eq!(driver.remove_index(idx).unwrap(), Some(new_id));
+        let OpOutcome::KvFetched { value, owner, .. } = driver.kv_get(2, key).unwrap() else {
+            panic!("kv_get must resolve")
+        };
+        assert_ne!(owner, new_id);
+        assert_eq!(value, Some(42), "the value must survive the second handoff");
+
+        // Delete, then the key is gone.
+        let OpOutcome::KvDropped { existed: true, .. } = driver.kv_delete(5, key).unwrap() else {
+            panic!("delete must drop the entry")
+        };
+        let OpOutcome::KvFetched { value: None, .. } = driver.kv_get(6, key).unwrap() else {
+            panic!("deleted key must read back as absent")
+        };
+
+        // Unsubscribe round-trips too.
+        let OpOutcome::Unsubscribed { existed: true, .. } = driver.unsubscribe(0).unwrap() else {
+            panic!("subscribed object must unsubscribe")
+        };
         let reports = cluster.shutdown().unwrap();
         assert!(reports.iter().any(|r| r.ops_served > 0));
     }

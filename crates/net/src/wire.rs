@@ -388,6 +388,82 @@ pub enum WireMsg<'a> {
         /// The object's Voronoi neighbours (expansion set).
         neighbours: IdList<'a>,
     },
+    /// Installs / replaces one hosted object's region subscription
+    /// (driver → host service push, acked by `SvcAck`).
+    SvcSubscribe {
+        /// The subscribing object.
+        object: u64,
+        /// Monotonic per-object service push sequence number.
+        seq: u64,
+        /// The subscribed region.
+        region: Rect,
+    },
+    /// Drops one hosted object's region subscription.
+    SvcUnsubscribe {
+        /// The unsubscribing object.
+        object: u64,
+        /// Monotonic per-object service push sequence number.
+        seq: u64,
+    },
+    /// Delivers one publication to a subscribed object on its host.
+    SvcDeliver {
+        /// The subscriber being delivered to.
+        object: u64,
+        /// Monotonic per-object service push sequence number.
+        seq: u64,
+        /// Topic key of the published region (its corner bit patterns).
+        topic: [u64; 4],
+        /// Per-topic publication sequence number (drives the host's
+        /// duplicate-delivery ledger).
+        topic_seq: u64,
+        /// Opaque payload.
+        payload: u64,
+    },
+    /// Stores one KV entry at the host of its owning object.
+    SvcKvStore {
+        /// The cell owner the entry belongs to.
+        object: u64,
+        /// Monotonic per-object service push sequence number.
+        seq: u64,
+        /// The entry's key.
+        key: u64,
+        /// The entry's value.
+        value: u64,
+    },
+    /// Drops one KV entry from the host of its (former) owning object.
+    SvcKvDrop {
+        /// The cell owner the entry belonged to.
+        object: u64,
+        /// Monotonic per-object service push sequence number.
+        seq: u64,
+        /// The entry's key.
+        key: u64,
+    },
+    /// Asks the host of `object` for the value it stores under `key` on
+    /// behalf of that object (answered by `SvcKvValue`).
+    SvcKvFetch {
+        /// Result-correlation token (fresh per attempt).
+        token: u64,
+        /// The cell owner to read from.
+        object: u64,
+        /// The queried key.
+        key: u64,
+    },
+    /// Answer to a `SvcKvFetch`.
+    SvcKvValue {
+        /// Token of the answered fetch.
+        token: u64,
+        /// The stored value, `None` when the host holds no entry.
+        value: Option<u64>,
+    },
+    /// Acknowledges one service push (`SvcSubscribe`/`SvcUnsubscribe`/
+    /// `SvcDeliver`/`SvcKvStore`/`SvcKvDrop`).
+    SvcAck {
+        /// Acknowledged object.
+        object: u64,
+        /// Acknowledged service push sequence number.
+        seq: u64,
+    },
     /// Asks a peer for its stats.
     StatsReq,
     /// Stats snapshot of one peer.
@@ -422,6 +498,14 @@ const KIND_FLOOD_REPLY: u8 = 17;
 const KIND_STATS_REQ: u8 = 18;
 const KIND_STATS_REPLY: u8 = 19;
 const KIND_SHUTDOWN: u8 = 20;
+const KIND_SVC_SUBSCRIBE: u8 = 21;
+const KIND_SVC_UNSUBSCRIBE: u8 = 22;
+const KIND_SVC_DELIVER: u8 = 23;
+const KIND_SVC_KV_STORE: u8 = 24;
+const KIND_SVC_KV_DROP: u8 = 25;
+const KIND_SVC_KV_FETCH: u8 = 26;
+const KIND_SVC_KV_VALUE: u8 = 27;
+const KIND_SVC_ACK: u8 = 28;
 
 const PURPOSE_JOIN: u8 = 0;
 const PURPOSE_QUERY: u8 = 1;
@@ -471,6 +555,14 @@ impl<'a> WireMsg<'a> {
             WireMsg::AnswerMatches { .. } => KIND_ANSWER_MATCHES,
             WireMsg::FloodProbe { .. } => KIND_FLOOD_PROBE,
             WireMsg::FloodReply { .. } => KIND_FLOOD_REPLY,
+            WireMsg::SvcSubscribe { .. } => KIND_SVC_SUBSCRIBE,
+            WireMsg::SvcUnsubscribe { .. } => KIND_SVC_UNSUBSCRIBE,
+            WireMsg::SvcDeliver { .. } => KIND_SVC_DELIVER,
+            WireMsg::SvcKvStore { .. } => KIND_SVC_KV_STORE,
+            WireMsg::SvcKvDrop { .. } => KIND_SVC_KV_DROP,
+            WireMsg::SvcKvFetch { .. } => KIND_SVC_KV_FETCH,
+            WireMsg::SvcKvValue { .. } => KIND_SVC_KV_VALUE,
+            WireMsg::SvcAck { .. } => KIND_SVC_ACK,
             WireMsg::StatsReq => KIND_STATS_REQ,
             WireMsg::StatsReply { .. } => KIND_STATS_REPLY,
             WireMsg::Shutdown => KIND_SHUTDOWN,
@@ -632,6 +724,65 @@ impl<'a> WireMsg<'a> {
                 buf.push(eligible as u8);
                 buf.push(is_match as u8);
                 neighbours.encode(buf);
+            }
+            WireMsg::SvcSubscribe {
+                object,
+                seq,
+                region,
+            } => {
+                put_u64(buf, object);
+                put_u64(buf, seq);
+                put_rect(buf, region);
+            }
+            WireMsg::SvcUnsubscribe { object, seq } | WireMsg::SvcAck { object, seq } => {
+                put_u64(buf, object);
+                put_u64(buf, seq);
+            }
+            WireMsg::SvcDeliver {
+                object,
+                seq,
+                topic,
+                topic_seq,
+                payload,
+            } => {
+                put_u64(buf, object);
+                put_u64(buf, seq);
+                for word in topic {
+                    put_u64(buf, word);
+                }
+                put_u64(buf, topic_seq);
+                put_u64(buf, payload);
+            }
+            WireMsg::SvcKvStore {
+                object,
+                seq,
+                key,
+                value,
+            } => {
+                put_u64(buf, object);
+                put_u64(buf, seq);
+                put_u64(buf, key);
+                put_u64(buf, value);
+            }
+            WireMsg::SvcKvDrop { object, seq, key } => {
+                put_u64(buf, object);
+                put_u64(buf, seq);
+                put_u64(buf, key);
+            }
+            WireMsg::SvcKvFetch { token, object, key } => {
+                put_u64(buf, token);
+                put_u64(buf, object);
+                put_u64(buf, key);
+            }
+            WireMsg::SvcKvValue { token, value } => {
+                put_u64(buf, token);
+                match value {
+                    Some(v) => {
+                        buf.push(1);
+                        put_u64(buf, v);
+                    }
+                    None => buf.push(0),
+                }
             }
             WireMsg::StatsReply { stats, ops_served } => {
                 put_u64(buf, stats.frames_sent);
@@ -818,6 +969,55 @@ impl<'a> WireMsg<'a> {
                     neighbours: IdList::decode(&mut r)?,
                 }
             }
+            KIND_SVC_SUBSCRIBE => WireMsg::SvcSubscribe {
+                object: r.u64()?,
+                seq: r.u64()?,
+                region: read_rect(&mut r)?,
+            },
+            KIND_SVC_UNSUBSCRIBE => WireMsg::SvcUnsubscribe {
+                object: r.u64()?,
+                seq: r.u64()?,
+            },
+            KIND_SVC_DELIVER => WireMsg::SvcDeliver {
+                object: r.u64()?,
+                seq: r.u64()?,
+                topic: [r.u64()?, r.u64()?, r.u64()?, r.u64()?],
+                topic_seq: r.u64()?,
+                payload: r.u64()?,
+            },
+            KIND_SVC_KV_STORE => WireMsg::SvcKvStore {
+                object: r.u64()?,
+                seq: r.u64()?,
+                key: r.u64()?,
+                value: r.u64()?,
+            },
+            KIND_SVC_KV_DROP => WireMsg::SvcKvDrop {
+                object: r.u64()?,
+                seq: r.u64()?,
+                key: r.u64()?,
+            },
+            KIND_SVC_KV_FETCH => WireMsg::SvcKvFetch {
+                token: r.u64()?,
+                object: r.u64()?,
+                key: r.u64()?,
+            },
+            KIND_SVC_KV_VALUE => WireMsg::SvcKvValue {
+                token: r.u64()?,
+                value: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    value => {
+                        return Err(DecodeError::BadTag {
+                            field: "kv value presence",
+                            value,
+                        })
+                    }
+                },
+            },
+            KIND_SVC_ACK => WireMsg::SvcAck {
+                object: r.u64()?,
+                seq: r.u64()?,
+            },
             KIND_STATS_REQ => WireMsg::StatsReq,
             KIND_STATS_REPLY => WireMsg::StatsReply {
                 stats: TransportStats {
@@ -1048,6 +1248,44 @@ mod tests {
                 is_match: false,
                 neighbours: vn,
             },
+            WireMsg::SvcSubscribe {
+                object: 7,
+                seq: 3,
+                region: rect,
+            },
+            WireMsg::SvcUnsubscribe { object: 7, seq: 4 },
+            WireMsg::SvcDeliver {
+                object: 7,
+                seq: 5,
+                topic: [1, u64::MAX, 0, 42],
+                topic_seq: 9,
+                payload: 0xDEAD_BEEF,
+            },
+            WireMsg::SvcKvStore {
+                object: 8,
+                seq: 6,
+                key: 123,
+                value: 456,
+            },
+            WireMsg::SvcKvDrop {
+                object: 8,
+                seq: 7,
+                key: 123,
+            },
+            WireMsg::SvcKvFetch {
+                token: 14,
+                object: 8,
+                key: 123,
+            },
+            WireMsg::SvcKvValue {
+                token: 14,
+                value: Some(456),
+            },
+            WireMsg::SvcKvValue {
+                token: 15,
+                value: None,
+            },
+            WireMsg::SvcAck { object: 8, seq: 7 },
             WireMsg::StatsReq,
             WireMsg::StatsReply {
                 stats: TransportStats {

@@ -5,8 +5,9 @@
 //!                    [--transport udp|tcp] [--stats-every SECS]
 //! voronet-node drive --hosts K --base-port P [--transport udp|tcp]
 //!                    [--objects N] [--ops N] [--seed S] [--zipf A]
+//!                    [--services]
 //! voronet-node demo  [--hosts K] [--objects N] [--ops N] [--seed S]
-//!                    [--zipf A] [--loss P]
+//!                    [--zipf A] [--loss P] [--services]
 //! ```
 //!
 //! Addressing is positional: peer `i` (0 is the driver) listens on
@@ -17,7 +18,11 @@
 //! churn-heavy Zipf-skewed workload ([`OpMix::churn_zipf`]) against the
 //! live cluster, then gathers every host's counters.  `demo` runs the
 //! same show single-process over the deterministic vnet transport — the
-//! in-memory twin of a socket deployment.
+//! in-memory twin of a socket deployment.  `--services` (drive/demo)
+//! switches the workload to the geo-scoped service mix
+//! ([`OpMix::services`]): region pub/sub deliveries and coordinate-keyed
+//! KV traffic ride the same cluster, with entries migrating between
+//! hosts as churn moves the owning Voronoi cells.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -50,6 +55,7 @@ struct Args {
     zipf: f64,
     loss: f64,
     nmax: usize,
+    services: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         zipf: 1.0,
         loss: 0.0,
         nmax: 4096,
+        services: false,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             "--zipf" => parse!(zipf, "--zipf"),
             "--loss" => parse!(loss, "--loss"),
             "--nmax" => parse!(nmax, "--nmax"),
+            "--services" => args.services = true,
             "--transport" => {
                 args.transport = match value("--transport")?.as_str() {
                     "udp" => TransportKind::Udp,
@@ -172,6 +180,13 @@ struct Tally {
     route_hops: u64,
     visited: u64,
     skipped: u64,
+    subs: u64,
+    pubs: u64,
+    delivered: u64,
+    kv_puts: u64,
+    kv_gets: u64,
+    kv_hits: u64,
+    kv_deletes: u64,
 }
 
 impl Tally {
@@ -190,6 +205,17 @@ impl Tally {
                 self.matches += matches.len() as u64;
                 self.visited += u64::from(*visited);
             }
+            OpOutcome::Subscribed { .. } | OpOutcome::Unsubscribed { .. } => self.subs += 1,
+            OpOutcome::Published { delivered, .. } => {
+                self.pubs += 1;
+                self.delivered += delivered.len() as u64;
+            }
+            OpOutcome::KvStored { .. } => self.kv_puts += 1,
+            OpOutcome::KvFetched { value, .. } => {
+                self.kv_gets += 1;
+                self.kv_hits += u64::from(value.is_some());
+            }
+            OpOutcome::KvDropped { .. } => self.kv_deletes += 1,
             OpOutcome::Skipped => self.skipped += 1,
         }
     }
@@ -219,9 +245,15 @@ fn drive_workload<T: Transport>(driver: &mut Driver<T>, args: &Args) -> Result<T
     }
     println!(" done (population {})", driver.population());
 
-    let mut generator =
-        OpBatchGenerator::new(Distribution::Uniform, args.seed, OpMix::churn_zipf())
-            .with_zipf_destinations(args.zipf);
+    let mix = if args.services {
+        // Service-heavy mix: pub/sub and coordinate-keyed KV traffic with
+        // enough churn left in to exercise ownership handoff on the wire.
+        OpMix::services(35, 35)
+    } else {
+        OpMix::churn_zipf()
+    };
+    let mut generator = OpBatchGenerator::new(Distribution::Uniform, args.seed, mix)
+        .with_zipf_destinations(args.zipf);
     let batch = generator.batch(driver.population(), args.ops);
     let mut tally = Tally::default();
     let progress_every = (args.ops / 10).max(1);
@@ -288,6 +320,19 @@ fn drive_workload<T: Transport>(driver: &mut Driver<T>, args: &Args) -> Result<T
         tally.visited,
         tally.skipped,
     );
+    if args.services {
+        println!(
+            "[drive] services: sub-ops={} publishes={} (delivered {}) \
+             kv puts={} gets={} (hits {}) deletes={}",
+            tally.subs,
+            tally.pubs,
+            tally.delivered,
+            tally.kv_puts,
+            tally.kv_gets,
+            tally.kv_hits,
+            tally.kv_deletes,
+        );
+    }
     println!(
         "[drive] frozen cross-check: {verified} routes verified against the delta-patched \
          view, {mismatched} mismatched | {snap}"

@@ -165,6 +165,16 @@ fn conformance<T: Transport>(transport: T, hosts: u64, objects: usize, ops: usiz
                 }
             }
             WorkloadOp::Snapshot { .. } => OpOutcome::Skipped,
+            // churn_zipf emits no service ops; the service conformance
+            // path lives in tests/net_services.rs.
+            WorkloadOp::Subscribe { .. }
+            | WorkloadOp::Unsubscribe { .. }
+            | WorkloadOp::Publish { .. }
+            | WorkloadOp::KvPut { .. }
+            | WorkloadOp::KvGet { .. }
+            | WorkloadOp::KvDelete { .. } => {
+                unreachable!("churn_zipf generates no service ops")
+            }
         };
         assert_eq!(got, expected, "op {i}: {op:?}");
     }

@@ -3,9 +3,13 @@
 //!
 //! ```text
 //! fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N]
-//!      [--out DIR] [--replay FILE]... [--no-replay-dir] [--dump-ops FILE]
-//!      [--demo-fault] [--codec]
+//!      [--services] [--out DIR] [--replay FILE]... [--no-replay-dir]
+//!      [--dump-ops FILE] [--demo-fault] [--codec]
 //! ```
+//!
+//! `--services` biases case generation towards service segments (region
+//! pub/sub and coordinate-keyed KV) — the CI `services-smoke` step runs
+//! with it; service traffic appears in every case regardless.
 //!
 //! `--codec` runs the standalone wire-codec property pass
 //! ([`voronet_testkit::run_codec_pass`]) instead of differential
@@ -47,6 +51,7 @@ struct Args {
     dump_ops: Option<PathBuf>,
     demo_fault: bool,
     codec: bool,
+    services: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         dump_ops: None,
         demo_fault: false,
         codec: false,
+        services: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,11 +100,12 @@ fn parse_args() -> Result<Args, String> {
             "--dump-ops" => args.dump_ops = Some(PathBuf::from(value("--dump-ops")?)),
             "--demo-fault" => args.demo_fault = true,
             "--codec" => args.codec = true,
+            "--services" => args.services = true,
             "--help" | "-h" => {
                 println!(
                     "fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N] \
-                     [--out DIR] [--replay FILE]... [--no-replay-dir] [--dump-ops FILE] \
-                     [--demo-fault] [--codec]"
+                     [--services] [--out DIR] [--replay FILE]... [--no-replay-dir] \
+                     [--dump-ops FILE] [--demo-fault] [--codec]"
                 );
                 std::process::exit(0);
             }
@@ -202,6 +209,7 @@ fn main() -> ExitCode {
         let deep = FuzzSpec {
             warmup: args.warmup.max(100),
             threads: args.threads,
+            services: args.services,
             ..FuzzSpec::deep(args.seed)
         };
         specs.push(match args.ops {
@@ -214,6 +222,7 @@ fn main() -> ExitCode {
         let mut spec = FuzzSpec::smoke(args.seed + i);
         spec.warmup = args.warmup.min(48);
         spec.threads = args.threads;
+        spec.services = args.services;
         if let Some(ops) = args.ops {
             spec.ops = ops.min(600);
         }

@@ -86,7 +86,7 @@ pub fn random_frame(rng: &mut StdRng) -> Vec<u8> {
     let mut s1 = Vec::new();
     let mut s2 = Vec::new();
     let mut s3 = Vec::new();
-    let msg = match rng.random_range(0..21u32) {
+    let msg = match rng.random_range(0..29u32) {
         0 => WireMsg::Hello,
         1 => WireMsg::Join {
             position: point(rng),
@@ -193,7 +193,51 @@ pub fn random_frame(rng: &mut StdRng) -> Vec<u8> {
             stats: stats(rng),
             ops_served: rng.random(),
         },
-        _ => WireMsg::Shutdown,
+        20 => WireMsg::Shutdown,
+        21 => WireMsg::SvcSubscribe {
+            object: rng.random(),
+            seq: rng.random(),
+            region: rect(rng),
+        },
+        22 => WireMsg::SvcUnsubscribe {
+            object: rng.random(),
+            seq: rng.random(),
+        },
+        23 => WireMsg::SvcDeliver {
+            object: rng.random(),
+            seq: rng.random(),
+            topic: [rng.random(), rng.random(), rng.random(), rng.random()],
+            topic_seq: rng.random(),
+            payload: rng.random(),
+        },
+        24 => WireMsg::SvcKvStore {
+            object: rng.random(),
+            seq: rng.random(),
+            key: rng.random(),
+            value: rng.random(),
+        },
+        25 => WireMsg::SvcKvDrop {
+            object: rng.random(),
+            seq: rng.random(),
+            key: rng.random(),
+        },
+        26 => WireMsg::SvcKvFetch {
+            token: rng.random(),
+            object: rng.random(),
+            key: rng.random(),
+        },
+        27 => WireMsg::SvcKvValue {
+            token: rng.random(),
+            value: if rng.random() {
+                Some(rng.random())
+            } else {
+                None
+            },
+        },
+        _ => WireMsg::SvcAck {
+            object: rng.random(),
+            seq: rng.random(),
+        },
     };
     msg.encode(from, to, &mut buf)
         .expect("generated frames fit");

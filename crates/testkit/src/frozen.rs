@@ -17,11 +17,15 @@
 //! catches it and the shrinker reduces the offending script to a handful
 //! of ops.
 
-use voronet_api::{InsertOutcome, Op, OpResult, OverlayStats, RemoveOutcome, RouteOutcome};
+use voronet_api::{
+    InsertOutcome, Overlay, OverlayStats, QueryOutcome, RemoveOutcome, RouteOutcome,
+};
 use voronet_core::queries::{radius_query_in, range_query_in};
 use voronet_core::snapshot::{FrozenView, RouteScratch, SnapshotStats, ViewRefresh};
-use voronet_core::{ObjectId, OverlayError, VoroNet, VoroNetConfig};
+use voronet_core::{ObjectId, ObjectView, OverlayError, VoroNet, VoroNetConfig, VoronetError};
+use voronet_geom::Point2;
 use voronet_sim::RouteStats;
+use voronet_workloads::{RadiusQuery, RangeQuery};
 
 /// A deliberate defect injected into the frozen execution (self-test
 /// instrumentation; [`Fault::None`] in every real fuzz run).
@@ -63,21 +67,6 @@ impl FrozenReplay {
         &self.net
     }
 
-    /// Aggregate counters, shaped like the engines' stats for direct
-    /// comparison.
-    pub fn stats(&self) -> OverlayStats {
-        OverlayStats {
-            population: self.net.len(),
-            messages: self.net.traffic().total(),
-            routes_completed: self.routes.count() as u64,
-            mean_route_hops: if self.routes.count() == 0 {
-                0.0
-            } else {
-                self.routes.mean()
-            },
-        }
-    }
-
     fn sabotage(&self, owner: ObjectId, hops: u32) -> RouteOutcome {
         let hops = match self.fault {
             Fault::FrozenRouteExtraHop if hops >= 1 => hops + 1,
@@ -93,7 +82,7 @@ impl FrozenReplay {
     fn frozen_route(
         &mut self,
         walk: impl FnOnce(&FrozenView, &mut RouteScratch) -> Result<(ObjectId, u32), OverlayError>,
-    ) -> OpResult {
+    ) -> Result<RouteOutcome, VoronetError> {
         // Epoch-keyed maintenance: freeze once, then bring the retained
         // view forward through the change log at every read — exactly the
         // delta path the production engine depends on, so the oracle
@@ -108,61 +97,10 @@ impl FrozenReplay {
         self.net.record_view_refresh(&refresh);
         let view = self.view.as_ref().expect("just built");
         self.scratch.delta.clear();
-        match walk(view, &mut self.scratch) {
-            Ok((owner, hops)) => {
-                self.net.apply_traffic(&self.scratch.delta);
-                self.routes.record(hops);
-                OpResult::Routed(self.sabotage(owner, hops))
-            }
-            Err(e) => OpResult::Failed(e.into()),
-        }
-    }
-
-    /// Applies one op, mirroring the per-op semantics of the synchronous
-    /// engine but reading through the frozen snapshot.
-    pub fn apply(&mut self, op: &Op) -> OpResult {
-        match *op {
-            // Writes no longer drop the view: the epoch moves on and the
-            // next read delta-patches the retained snapshot forward.
-            Op::Insert { position } => match self.net.insert(position) {
-                Ok(report) => OpResult::Inserted(InsertOutcome { id: report.id }),
-                Err(e) => OpResult::Failed(e.into()),
-            },
-            Op::Remove { id } => match self.net.remove(id) {
-                Ok(_) => OpResult::Removed(RemoveOutcome { id }),
-                Err(e) => OpResult::Failed(e.into()),
-            },
-            Op::Route { from, target } => {
-                self.frozen_route(|view, scratch| view.route_to_point_in(from, target, scratch))
-            }
-            Op::RouteBetween { from, to } => {
-                self.frozen_route(|view, scratch| view.route_between_in(from, to, scratch))
-            }
-            Op::Range { from, query } => {
-                self.scratch.delta.clear();
-                match range_query_in(&self.net, from, query, &mut self.scratch) {
-                    Ok(report) => {
-                        self.net.apply_traffic(&self.scratch.delta);
-                        OpResult::Queried(report.into())
-                    }
-                    Err(e) => OpResult::Failed(e.into()),
-                }
-            }
-            Op::Radius { from, query } => {
-                self.scratch.delta.clear();
-                match radius_query_in(&self.net, from, query, &mut self.scratch) {
-                    Ok(report) => {
-                        self.net.apply_traffic(&self.scratch.delta);
-                        OpResult::Queried(report.into())
-                    }
-                    Err(e) => OpResult::Failed(e.into()),
-                }
-            }
-            Op::Snapshot { id } => match self.net.view(id) {
-                Ok(v) => OpResult::Snapshotted(Box::new(v)),
-                Err(e) => OpResult::Failed(e.into()),
-            },
-        }
+        let (owner, hops) = walk(view, &mut self.scratch)?;
+        self.net.apply_traffic(&self.scratch.delta);
+        self.routes.record(hops);
+        Ok(self.sabotage(owner, hops))
     }
 
     /// Drops the retained snapshot so the next read freezes from scratch
@@ -170,19 +108,108 @@ impl FrozenReplay {
     pub fn invalidate(&mut self) {
         self.view = None;
     }
+}
+
+/// The [`Overlay`] implementation mirrors the per-op semantics of the
+/// synchronous engine but serves every read through the retained frozen
+/// snapshot; writes do not drop the view — the epoch moves on and the
+/// next read delta-patches the retained snapshot forward.  Implementing
+/// the trait lets the service layer (`ServiceEngine`) wrap this replay
+/// exactly like the production engines.
+impl Overlay for FrozenReplay {
+    fn engine_name(&self) -> &'static str {
+        "frozen"
+    }
+
+    fn config(&self) -> &VoroNetConfig {
+        self.net.config()
+    }
+
+    fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.net.contains(id)
+    }
+
+    fn coords(&self, id: ObjectId) -> Option<Point2> {
+        self.net.coords(id)
+    }
+
+    fn id_at(&self, index: usize) -> Option<ObjectId> {
+        self.net.id_at(index)
+    }
+
+    fn insert(&mut self, position: Point2) -> Result<InsertOutcome, VoronetError> {
+        let report = self.net.insert(position)?;
+        Ok(InsertOutcome { id: report.id })
+    }
+
+    fn remove(&mut self, id: ObjectId) -> Result<RemoveOutcome, VoronetError> {
+        self.net.remove(id)?;
+        Ok(RemoveOutcome { id })
+    }
+
+    fn route(&mut self, from: ObjectId, target: Point2) -> Result<RouteOutcome, VoronetError> {
+        self.frozen_route(|view, scratch| view.route_to_point_in(from, target, scratch))
+    }
+
+    fn route_between(
+        &mut self,
+        from: ObjectId,
+        to: ObjectId,
+    ) -> Result<RouteOutcome, VoronetError> {
+        self.frozen_route(|view, scratch| view.route_between_in(from, to, scratch))
+    }
+
+    fn range(&mut self, from: ObjectId, query: RangeQuery) -> Result<QueryOutcome, VoronetError> {
+        self.scratch.delta.clear();
+        let report = range_query_in(&self.net, from, query, &mut self.scratch)?;
+        self.net.apply_traffic(&self.scratch.delta);
+        Ok(report.into())
+    }
+
+    fn radius(&mut self, from: ObjectId, query: RadiusQuery) -> Result<QueryOutcome, VoronetError> {
+        self.scratch.delta.clear();
+        let report = radius_query_in(&self.net, from, query, &mut self.scratch)?;
+        self.net.apply_traffic(&self.scratch.delta);
+        Ok(report.into())
+    }
+
+    fn snapshot(&self, id: ObjectId) -> Result<ObjectView, VoronetError> {
+        Ok(self.net.view(id)?)
+    }
+
+    fn stats(&self) -> OverlayStats {
+        OverlayStats {
+            population: self.net.len(),
+            messages: self.net.traffic().total(),
+            routes_completed: self.routes.count() as u64,
+            mean_route_hops: if self.routes.count() == 0 {
+                0.0
+            } else {
+                self.routes.mean()
+            },
+        }
+    }
 
     /// Snapshot-maintenance economics of this replay: a faithful run over
     /// a script with interleaved writes shows exactly one full rebuild
     /// (the first read) and a delta patch per read-after-write barrier.
-    pub fn snapshot_stats(&self) -> SnapshotStats {
+    fn snapshot_stats(&self) -> SnapshotStats {
         self.net.snapshot_stats()
+    }
+
+    fn verify_invariants(&self) -> Result<(), VoronetError> {
+        self.net.check_invariants(false)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use voronet_api::{Overlay, OverlayBuilder};
+    use voronet_api::{Op, OpResult, OverlayBuilder};
     use voronet_geom::Point2;
     use voronet_workloads::{Distribution, PointGenerator, RangeQuery};
 

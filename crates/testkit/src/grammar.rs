@@ -7,9 +7,13 @@
 //! Generation reuses [`OpBatchGenerator`]/[`OpMix`] as the grammar
 //! backbone: the script opens with a warm-up burst of inserts, then
 //! alternates weighted segments — read-heavy serving, churn bursts,
-//! read-only stretches (which exercise the frozen parallel path), and a
-//! balanced mix that includes snapshots — while the lossy profile layers
+//! read-only stretches (which exercise the frozen parallel path), a
+//! balanced mix that includes snapshots, and service segments (region
+//! pub/sub and coordinate-keyed KV traffic, occasionally with a
+//! Zipf-skewed hot-topic palette) — while the lossy profile layers
 //! network events on top: iid loss, latency shifts and partition windows.
+//! Service segments are always part of the rotation; [`FuzzSpec::services`]
+//! biases generation towards them for service-focused fuzzing.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -32,6 +36,10 @@ pub struct FuzzSpec {
     /// Whether to attach a lossy network profile (adds the lossy async
     /// companion run).
     pub lossy: bool,
+    /// Bias generation towards service segments (pub/sub + KV).  Service
+    /// traffic appears in every case regardless; this roughly triples its
+    /// share for service-focused fuzzing.
+    pub services: bool,
 }
 
 impl FuzzSpec {
@@ -44,6 +52,7 @@ impl FuzzSpec {
             nmax: 400,
             threads: 4,
             lossy: seed % 2 == 1,
+            services: false,
         }
     }
 
@@ -56,6 +65,7 @@ impl FuzzSpec {
             nmax: 4_000,
             threads: 4,
             lossy: true,
+            services: false,
         }
     }
 }
@@ -154,7 +164,15 @@ pub fn generate_case(spec: &FuzzSpec) -> FuzzCase {
     while script.len() < spec.warmup + spec.ops {
         let remaining = spec.warmup + spec.ops - script.len();
         let len = rng.random_range(32..=192usize).min(remaining);
-        let mix = match rng.random_range(0..10u32) {
+        let selector = if spec.services && rng.random_range(0..2u32) == 0 {
+            // Service-focused fuzzing: force a service segment half the
+            // time, the regular rotation otherwise.
+            10 + rng.random_range(0..2u32)
+        } else {
+            rng.random_range(0..12u32)
+        };
+        let service_segment = selector >= 10;
+        let mix = match selector {
             0..=3 => OpMix {
                 snapshot: 0.02,
                 ..OpMix::read_heavy()
@@ -164,14 +182,20 @@ pub fn generate_case(spec: &FuzzSpec) -> FuzzCase {
                 snapshot: 0.05,
                 ..OpMix::read_only()
             },
-            _ => OpMix {
+            8..=9 => OpMix {
                 insert: 0.15,
                 remove: 0.10,
                 route: 0.45,
                 range: 0.10,
                 radius: 0.10,
                 snapshot: 0.10,
+                ..OpMix::routes_only()
             },
+            // Service segments: a publish-heavy and a KV-heavy flavour.
+            // Both keep some churn in the residual protocol share, so KV
+            // ownership handoff runs under live insert/remove pressure.
+            10 => OpMix::services(55, 25),
+            _ => OpMix::services(15, 60),
         };
         let dist = match rng.random_range(0..4u32) {
             0 => Distribution::Uniform,
@@ -192,6 +216,12 @@ pub fn generate_case(spec: &FuzzSpec) -> FuzzCase {
         };
         let mut gen =
             OpBatchGenerator::new(dist, rng.random::<u64>(), mix).with_max_query_extent(extent);
+        if service_segment && rng.random_range(0..2u32) == 0 {
+            // Half the service segments publish into a Zipf-skewed
+            // hot-topic palette instead of fresh rectangles, so per-topic
+            // sequence numbers climb and duplicate detection gets traffic.
+            gen = gen.with_zipf_topics(1.0);
+        }
         let segment = gen.batch(pop, len);
         for op in &segment {
             match op {

@@ -33,6 +33,7 @@ use crate::oracle::OracleModel;
 use voronet_api::{resolve_workload, AsyncEngine, Op, OpResult, Overlay, SyncEngine};
 use voronet_core::{ErrorKind, VoroNetConfig};
 use voronet_geom::Point2;
+use voronet_services::ServiceEngine;
 use voronet_sim::NetworkModel;
 
 /// A disagreement between executions (or between an execution and the
@@ -74,25 +75,32 @@ pub struct RunReport {
 }
 
 struct Fleet {
-    sync1: SyncEngine,
-    syncn: SyncEngine,
-    asynchronous: AsyncEngine,
-    frozen: FrozenReplay,
-    lossy: Option<AsyncEngine>,
+    sync1: ServiceEngine<SyncEngine>,
+    syncn: ServiceEngine<SyncEngine>,
+    asynchronous: ServiceEngine<AsyncEngine>,
+    frozen: ServiceEngine<FrozenReplay>,
+    lossy: Option<ServiceEngine<AsyncEngine>>,
     oracle: OracleModel,
 }
 
 impl Fleet {
     fn build(case: &FuzzCase, fault: Fault) -> Fleet {
+        // Every execution carries the service layer, so scripts mixing
+        // pub/sub and KV traffic into the protocol stream exercise it on
+        // all engines at once — including the KV ownership handoff hooks
+        // that churn ops trigger.
         let config = VoroNetConfig::new(case.nmax).with_seed(case.seed);
         Fleet {
-            sync1: SyncEngine::new(config).with_threads(1),
-            syncn: SyncEngine::new(config).with_threads(case.threads),
-            asynchronous: AsyncEngine::new(config, NetworkModel::ideal()),
-            frozen: FrozenReplay::new(config, fault),
+            sync1: ServiceEngine::new(SyncEngine::new(config).with_threads(1)),
+            syncn: ServiceEngine::new(SyncEngine::new(config).with_threads(case.threads)),
+            asynchronous: ServiceEngine::new(AsyncEngine::new(config, NetworkModel::ideal())),
+            frozen: ServiceEngine::new(FrozenReplay::new(config, fault)),
             lossy: match case.net {
                 NetProfile::Ideal => None,
-                lossy => Some(AsyncEngine::new(config, lossy.network())),
+                lossy => Some(ServiceEngine::new(AsyncEngine::new(
+                    config,
+                    lossy.network(),
+                ))),
             },
             oracle: OracleModel::new(&config),
         }
@@ -134,7 +142,7 @@ fn audit_fleet(fleet: &mut Fleet, round: usize, report: &mut RunReport) -> Resul
     for (name, other) in [
         ("sync/N", fleet.syncn.ids()),
         ("async", fleet.asynchronous.ids()),
-        ("frozen", fleet.frozen.net().ids().collect()),
+        ("frozen", fleet.frozen.inner().net().ids().collect()),
     ] {
         if other != ids {
             return Err(fail(
@@ -148,7 +156,7 @@ fn audit_fleet(fleet: &mut Fleet, round: usize, report: &mut RunReport) -> Resul
         for (name, other) in [
             ("sync/N", fleet.syncn.coords(id)),
             ("async", fleet.asynchronous.coords(id)),
-            ("frozen", fleet.frozen.net().coords(id)),
+            ("frozen", fleet.frozen.inner().net().coords(id)),
         ] {
             if other != c {
                 return Err(fail(
@@ -178,10 +186,10 @@ fn audit_fleet(fleet: &mut Fleet, round: usize, report: &mut RunReport) -> Resul
         }
     }
     for &id in &ids {
-        let sent = fleet.sync1.net().sent_by(id);
+        let sent = fleet.sync1.inner().net().sent_by(id);
         for (name, other) in [
-            ("sync/N", fleet.syncn.net().sent_by(id)),
-            ("frozen", fleet.frozen.net().sent_by(id)),
+            ("sync/N", fleet.syncn.inner().net().sent_by(id)),
+            ("frozen", fleet.frozen.inner().net().sent_by(id)),
         ] {
             if other != sent {
                 return Err(fail(
@@ -198,9 +206,9 @@ fn audit_fleet(fleet: &mut Fleet, round: usize, report: &mut RunReport) -> Resul
     // O(n²) close-set reconstruction runs while it is cheap.
     let exhaustive = ids.len() <= 128;
     for (name, net) in [
-        ("sync/1", fleet.sync1.net()),
-        ("async", fleet.asynchronous.overlay().net()),
-        ("frozen", fleet.frozen.net()),
+        ("sync/1", fleet.sync1.inner().net()),
+        ("async", fleet.asynchronous.inner().overlay().net()),
+        ("frozen", fleet.frozen.inner().net()),
     ] {
         let audit = net
             .audit_invariants(exhaustive)
@@ -218,9 +226,31 @@ fn audit_fleet(fleet: &mut Fleet, round: usize, report: &mut RunReport) -> Resul
         report.invariants_checked += audit.nodes;
     }
 
+    // Service-layer state — subscriptions, topic sequence numbers, the
+    // delivery ledger, the KV table with its placements, and the service
+    // counters — agrees bit for bit across the four deterministic
+    // executions and matches the oracle's naive model.
+    let service = fleet.sync1.service_state();
+    for (name, other) in [
+        ("sync/N", fleet.syncn.service_state()),
+        ("async", fleet.asynchronous.service_state()),
+        ("frozen", fleet.frozen.service_state()),
+    ] {
+        if other != service {
+            return Err(fail(
+                "audit:services",
+                format!("service state diverges on {name}: sync/1 {service:?}, {name} {other:?}"),
+            ));
+        }
+    }
+    fleet
+        .oracle
+        .check_service_state("sync/1", service)
+        .map_err(|e| fail("audit:services", e))?;
+
     // Brute-force Delaunay cross-check while the population is small.
     if ids.len() <= 96 {
-        let net = fleet.sync1.net();
+        let net = fleet.sync1.inner().net();
         let targets: Vec<Point2> = (0..6)
             .map(|i| {
                 let t = f64::from(i) / 6.0;
@@ -239,7 +269,7 @@ fn audit_fleet(fleet: &mut Fleet, round: usize, report: &mut RunReport) -> Resul
 }
 
 fn check_lossy(
-    lossy: &mut AsyncEngine,
+    lossy: &mut ServiceEngine<AsyncEngine>,
     base: usize,
     ops: &[Op],
     report: &mut RunReport,
@@ -269,7 +299,13 @@ fn check_lossy(
             }
         }
     }
-    lossy.verify_invariants().map_err(|e| Divergence {
+    // Only the *overlay* invariants are demanded here: the service
+    // layer's owner-is-nearest KV invariant assumes reliable transport
+    // (a loss-degraded route can legitimately resolve a put to a stale
+    // owner, and a timed-out join skips the handoff hook), so it is
+    // verified on the deterministic engines via the oracle's
+    // service-state audit instead.
+    lossy.inner().verify_invariants().map_err(|e| Divergence {
         op_index: None,
         kind: "lossy:invariants".to_string(),
         detail: format!("lossy run violated invariants: {e}"),

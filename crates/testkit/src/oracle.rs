@@ -21,10 +21,12 @@
 //! cross-checking lives in [`crate::harness`].  The oracle's job is to
 //! anchor the agreement to an independent, obviously-correct model.
 
-use voronet_api::{Op, OpResult};
+use std::collections::BTreeMap;
+use voronet_api::{Op, OpResult, ServiceOp, ServiceResult};
 use voronet_core::{ErrorKind, ObjectId, VoroNetConfig};
 use voronet_geom::hull::{convex_hull, delaunay_edges_bruteforce};
 use voronet_geom::{Point2, Rect};
+use voronet_services::{key_point, topic_key, ServiceState};
 
 /// The brute-force reference model of one overlay.
 #[derive(Debug, Clone)]
@@ -34,6 +36,15 @@ pub struct OracleModel {
     /// engines' dense order — set equality is checked at audit points).
     live: Vec<(ObjectId, Point2)>,
     domain: Rect,
+    /// Naive service model: standing subscriptions (linear-scan
+    /// resolution, no tessellation involved).
+    subs: BTreeMap<ObjectId, Rect>,
+    /// Per-topic publish counters, mirroring the service layer's.
+    topic_seqs: BTreeMap<[u64; 4], u64>,
+    /// Naive KV model: a single key → value map.  No placement is
+    /// stored — ownership is recomputed from scratch at every lookup, so
+    /// a missed handoff in the engine shows up as a prediction mismatch.
+    kv: BTreeMap<u64, u64>,
 }
 
 impl OracleModel {
@@ -43,6 +54,9 @@ impl OracleModel {
             next_id: 0,
             live: Vec::new(),
             domain: config.domain,
+            subs: BTreeMap::new(),
+            topic_seqs: BTreeMap::new(),
+            kv: BTreeMap::new(),
         }
     }
 
@@ -123,6 +137,7 @@ impl OracleModel {
                 p.distance2(query.center) <= query.radius * query.radius
             }),
             Op::Snapshot { id } => self.check_snapshot(id, result),
+            Op::Service(service) => self.check_service(service, result),
         }
     }
 
@@ -173,6 +188,14 @@ impl OracleModel {
             ));
         }
         self.live.retain(|&(o, _)| o != id);
+        // Mirror the service layer's churn rules: a departed object's
+        // subscription dies with it, and an empty overlay has no owner
+        // left to hold any KV entry.
+        self.subs.remove(&id);
+        if self.live.is_empty() {
+            self.subs.clear();
+            self.kv.clear();
+        }
         Ok(())
     }
 
@@ -310,6 +333,230 @@ impl OracleModel {
                 view.coords,
                 self.coords(id).expect("checked live")
             ));
+        }
+        Ok(())
+    }
+
+    /// Checks one service operation against the naive model: linear-scan
+    /// subscriber resolution, a single-map KV with ownership recomputed
+    /// from scratch at every access.  The model never consults a
+    /// tessellation, so an engine-side handoff or delivery bug cannot
+    /// hide behind shared machinery.
+    fn check_service(&mut self, op: ServiceOp, result: &OpResult) -> Result<(), String> {
+        match op {
+            ServiceOp::Subscribe { id, region } => {
+                if !self.contains(id) {
+                    return expect_failure(result, &ErrorKind::UnknownObject(id), "subscribe");
+                }
+                let OpResult::Service(ServiceResult::Subscribed(outcome)) = result else {
+                    return Err(format!(
+                        "subscribe of live {id} must succeed, engine returned {result:?}"
+                    ));
+                };
+                let replaced = self.subs.insert(id, region).is_some();
+                if (outcome.id, outcome.replaced) != (id, replaced) {
+                    return Err(format!(
+                        "subscribe of {id} (replaced: {replaced}) reported {outcome:?}"
+                    ));
+                }
+                Ok(())
+            }
+            ServiceOp::Unsubscribe { id } => {
+                let existed = self.subs.remove(&id).is_some();
+                let OpResult::Service(ServiceResult::Unsubscribed(outcome)) = result else {
+                    return Err(format!(
+                        "unsubscribe always succeeds, engine returned {result:?}"
+                    ));
+                };
+                if (outcome.id, outcome.existed) != (id, existed) {
+                    return Err(format!(
+                        "unsubscribe of {id} (existed: {existed}) reported {outcome:?}"
+                    ));
+                }
+                Ok(())
+            }
+            ServiceOp::Publish { from, region, .. } => {
+                if !self.contains(from) {
+                    return expect_failure(result, &ErrorKind::UnknownObject(from), "publish");
+                }
+                let OpResult::Service(ServiceResult::Published(outcome)) = result else {
+                    return Err(format!(
+                        "publish from live {from} must succeed, engine returned {result:?}"
+                    ));
+                };
+                let seq = {
+                    let s = self.topic_seqs.entry(topic_key(&region)).or_insert(0);
+                    *s += 1;
+                    *s
+                };
+                if outcome.seq != seq {
+                    return Err(format!(
+                        "publish into {region:?} carries seq {}, oracle counted {seq}",
+                        outcome.seq
+                    ));
+                }
+                // Linear-scan resolution: a subscriber is delivered iff its
+                // region intersects the publish region AND its coordinates
+                // lie inside the flooded rectangle; interest the flood
+                // cannot reach is a miss.  BTreeMap iteration is id-sorted,
+                // matching the engine's ordering contract.
+                let mut delivered = Vec::new();
+                let mut missed = Vec::new();
+                for (&sub, sub_region) in &self.subs {
+                    if !sub_region.intersects(&region) {
+                        continue;
+                    }
+                    let inside = self.coords(sub).is_some_and(|p| region.contains(p));
+                    if inside {
+                        delivered.push(sub);
+                    } else {
+                        missed.push(sub);
+                    }
+                }
+                if outcome.delivered != delivered || outcome.missed != missed {
+                    return Err(format!(
+                        "publish resolution diverges from the linear scan: engine delivered \
+                         {:?} / missed {:?}, oracle delivered {delivered:?} / missed {missed:?}",
+                        outcome.delivered, outcome.missed
+                    ));
+                }
+                // The flood accounting obeys the same invariants as any
+                // area query.
+                if outcome.visited < 1 || outcome.visited > self.len() {
+                    return Err(format!(
+                        "publish visited {} objects of a population of {}",
+                        outcome.visited,
+                        self.len()
+                    ));
+                }
+                if outcome.flood_messages != (outcome.visited as u64).saturating_sub(1) {
+                    return Err(format!(
+                        "publish flood accounting broken: visited {} but {} flood messages",
+                        outcome.visited, outcome.flood_messages
+                    ));
+                }
+                if outcome.routing_hops > self.len().saturating_sub(1) as u32 {
+                    return Err(format!(
+                        "publish routed {} hops over a population of {}",
+                        outcome.routing_hops,
+                        self.len()
+                    ));
+                }
+                Ok(())
+            }
+            ServiceOp::KvPut { from, key, value } => {
+                if !self.contains(from) {
+                    return expect_failure(result, &ErrorKind::UnknownObject(from), "kv_put");
+                }
+                let OpResult::Service(ServiceResult::Put(outcome)) = result else {
+                    return Err(format!(
+                        "kv_put from live {from} must succeed, engine returned {result:?}"
+                    ));
+                };
+                self.check_kv_owner("kv_put", key, outcome.owner)?;
+                if outcome.hops > self.len().saturating_sub(1) as u32 {
+                    return Err(format!("kv_put routed {} hops", outcome.hops));
+                }
+                let replaced = self.kv.insert(key, value).is_some();
+                if outcome.replaced != replaced {
+                    return Err(format!(
+                        "kv_put of key {key} reported replaced: {}, oracle says {replaced}",
+                        outcome.replaced
+                    ));
+                }
+                for replica in &outcome.replicas {
+                    if !self.contains(*replica) {
+                        return Err(format!(
+                            "kv_put of key {key} reported dead replica {replica}"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            ServiceOp::KvGet { from, key } => {
+                if !self.contains(from) {
+                    return expect_failure(result, &ErrorKind::UnknownObject(from), "kv_get");
+                }
+                let OpResult::Service(ServiceResult::Got(outcome)) = result else {
+                    return Err(format!(
+                        "kv_get from live {from} must succeed, engine returned {result:?}"
+                    ));
+                };
+                self.check_kv_owner("kv_get", key, outcome.owner)?;
+                // The single-map model recomputes ownership implicitly: a
+                // stored key is always found.  An engine that missed a
+                // churn handoff answers `None` here and diverges.
+                let expected = self.kv.get(&key).copied();
+                if outcome.value != expected {
+                    return Err(format!(
+                        "kv_get of key {key} returned {:?}, the naive model holds {expected:?} \
+                         (stale ownership after churn?)",
+                        outcome.value
+                    ));
+                }
+                Ok(())
+            }
+            ServiceOp::KvDelete { from, key } => {
+                if !self.contains(from) {
+                    return expect_failure(result, &ErrorKind::UnknownObject(from), "kv_delete");
+                }
+                let OpResult::Service(ServiceResult::Deleted(outcome)) = result else {
+                    return Err(format!(
+                        "kv_delete from live {from} must succeed, engine returned {result:?}"
+                    ));
+                };
+                self.check_kv_owner("kv_delete", key, outcome.owner)?;
+                let existed = self.kv.remove(&key).is_some();
+                if outcome.existed != existed {
+                    return Err(format!(
+                        "kv_delete of key {key} reported existed: {}, oracle says {existed}",
+                        outcome.existed
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The owner an engine reports for `key` must be (one of) the nearest
+    /// live object(s) to the key's home coordinate — compared by
+    /// distance, not id, so exact ties stay legal.
+    fn check_kv_owner(&self, what: &str, key: u64, owner: ObjectId) -> Result<(), String> {
+        let kp = key_point(key, self.domain);
+        let min_d2 = self.min_distance2(kp).expect("model is non-empty");
+        let owner_d2 = self
+            .coords(owner)
+            .ok_or_else(|| format!("{what} of key {key} reported dead owner {owner}"))?
+            .distance2(kp);
+        if owner_d2 > min_d2 {
+            return Err(format!(
+                "{what} of key {key} reported owner {owner} (d²={owner_d2:.3e}) but a live \
+                 object is closer to the key point (d²={min_d2:.3e})"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compares an engine's service-layer state against the naive model:
+    /// identical subscriptions, identical key → value content, and every
+    /// stored placement pointing at a nearest live object.
+    pub fn check_service_state(&self, engine: &str, state: &ServiceState) -> Result<(), String> {
+        if state.subscriptions != self.subs {
+            return Err(format!(
+                "{engine} subscriptions diverge from the oracle: engine {:?}, oracle {:?}",
+                state.subscriptions, self.subs
+            ));
+        }
+        let engine_kv: BTreeMap<u64, u64> = state.kv.iter().map(|(&k, e)| (k, e.value)).collect();
+        if engine_kv != self.kv {
+            return Err(format!(
+                "{engine} KV content diverges from the oracle: engine {engine_kv:?}, \
+                 oracle {:?}",
+                self.kv
+            ));
+        }
+        for (&key, entry) in &state.kv {
+            self.check_kv_owner(engine, key, entry.owner)?;
         }
         Ok(())
     }

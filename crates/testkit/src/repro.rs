@@ -74,6 +74,22 @@ fn encode_op(op: &WorkloadOp) -> String {
             query.center.x, query.center.y, query.radius
         ),
         WorkloadOp::Snapshot { index } => format!("snapshot({index})"),
+        WorkloadOp::Subscribe { index, region } => format!(
+            "subscribe({index}, {}, {}, {}, {})",
+            region.min.x, region.min.y, region.max.x, region.max.y
+        ),
+        WorkloadOp::Unsubscribe { index } => format!("unsubscribe({index})"),
+        WorkloadOp::Publish {
+            from,
+            region,
+            payload,
+        } => format!(
+            "publish({from}, {}, {}, {}, {}, {payload})",
+            region.min.x, region.min.y, region.max.x, region.max.y
+        ),
+        WorkloadOp::KvPut { from, key, value } => format!("kv_put({from}, {key}, {value})"),
+        WorkloadOp::KvGet { from, key } => format!("kv_get({from}, {key})"),
+        WorkloadOp::KvDelete { from, key } => format!("kv_delete({from}, {key})"),
     }
 }
 
@@ -333,6 +349,18 @@ impl Parser {
         }
     }
 
+    /// Four comma-separated floats `ax, ay, bx, by` forming a rectangle.
+    fn rect(&mut self) -> Result<Rect, ReproError> {
+        let ax = self.f64()?;
+        self.punct(',')?;
+        let ay = self.f64()?;
+        self.punct(',')?;
+        let bx = self.f64()?;
+        self.punct(',')?;
+        let by = self.f64()?;
+        Ok(Rect::new(Point2::new(ax, ay), Point2::new(bx, by)))
+    }
+
     fn op(&mut self) -> Result<WorkloadOp, ReproError> {
         let verb = self.ident()?;
         self.punct('(')?;
@@ -390,6 +418,47 @@ impl Parser {
             "snapshot" => WorkloadOp::Snapshot {
                 index: self.usize()?,
             },
+            "subscribe" => {
+                let index = self.usize()?;
+                self.punct(',')?;
+                let region = self.rect()?;
+                WorkloadOp::Subscribe { index, region }
+            }
+            "unsubscribe" => WorkloadOp::Unsubscribe {
+                index: self.usize()?,
+            },
+            "publish" => {
+                let from = self.usize()?;
+                self.punct(',')?;
+                let region = self.rect()?;
+                self.punct(',')?;
+                let payload = self.u64()?;
+                WorkloadOp::Publish {
+                    from,
+                    region,
+                    payload,
+                }
+            }
+            "kv_put" => {
+                let from = self.usize()?;
+                self.punct(',')?;
+                let key = self.u64()?;
+                self.punct(',')?;
+                let value = self.u64()?;
+                WorkloadOp::KvPut { from, key, value }
+            }
+            "kv_get" => {
+                let from = self.usize()?;
+                self.punct(',')?;
+                let key = self.u64()?;
+                WorkloadOp::KvGet { from, key }
+            }
+            "kv_delete" => {
+                let from = self.usize()?;
+                self.punct(',')?;
+                let key = self.u64()?;
+                WorkloadOp::KvDelete { from, key }
+            }
             other => return Err(perr(format!("unknown script op {other:?}"))),
         };
         self.punct(')')?;

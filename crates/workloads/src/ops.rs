@@ -56,6 +56,52 @@ pub enum WorkloadOp {
         /// Dense population index of the inspected object.
         index: usize,
     },
+    /// Subscribe the `index`-th live object to publishes intersecting
+    /// `region`.
+    Subscribe {
+        /// Dense population index of the subscriber.
+        index: usize,
+        /// The spatial region of interest — the topic.
+        region: Rect,
+    },
+    /// Drop the `index`-th live object's subscription.
+    Unsubscribe {
+        /// Dense population index of the unsubscribing object.
+        index: usize,
+    },
+    /// Publish `payload` into `region`, issued by the `from`-th live
+    /// object.
+    Publish {
+        /// Dense population index of the publisher.
+        from: usize,
+        /// The target region — the topic.
+        region: Rect,
+        /// Opaque payload token.
+        payload: u64,
+    },
+    /// Store `value` under `key`, issued by the `from`-th live object.
+    KvPut {
+        /// Dense population index of the requesting object.
+        from: usize,
+        /// The key (hashes to a coordinate at the service layer).
+        key: u64,
+        /// The value token.
+        value: u64,
+    },
+    /// Look `key` up, issued by the `from`-th live object.
+    KvGet {
+        /// Dense population index of the requesting object.
+        from: usize,
+        /// The key to resolve.
+        key: u64,
+    },
+    /// Delete `key`, issued by the `from`-th live object.
+    KvDelete {
+        /// Dense population index of the requesting object.
+        from: usize,
+        /// The key to delete.
+        key: u64,
+    },
 }
 
 /// Relative frequencies of the operation families in a generated batch.
@@ -75,6 +121,18 @@ pub struct OpMix {
     pub radius: f64,
     /// Weight of [`WorkloadOp::Snapshot`].
     pub snapshot: f64,
+    /// Weight of [`WorkloadOp::Subscribe`].
+    pub subscribe: f64,
+    /// Weight of [`WorkloadOp::Unsubscribe`].
+    pub unsubscribe: f64,
+    /// Weight of [`WorkloadOp::Publish`].
+    pub publish: f64,
+    /// Weight of [`WorkloadOp::KvPut`].
+    pub kv_put: f64,
+    /// Weight of [`WorkloadOp::KvGet`].
+    pub kv_get: f64,
+    /// Weight of [`WorkloadOp::KvDelete`].
+    pub kv_delete: f64,
 }
 
 impl OpMix {
@@ -87,7 +145,7 @@ impl OpMix {
             route: 0.80,
             range: 0.025,
             radius: 0.025,
-            snapshot: 0.0,
+            ..Self::zero()
         }
     }
 
@@ -97,9 +155,7 @@ impl OpMix {
             insert: 0.35,
             remove: 0.25,
             route: 0.40,
-            range: 0.0,
-            radius: 0.0,
-            snapshot: 0.0,
+            ..Self::zero()
         }
     }
 
@@ -116,7 +172,7 @@ impl OpMix {
             route: 0.40,
             range: 0.05,
             radius: 0.05,
-            snapshot: 0.0,
+            ..Self::zero()
         }
     }
 
@@ -126,12 +182,10 @@ impl OpMix {
     /// run.
     pub fn read_only() -> Self {
         OpMix {
-            insert: 0.0,
-            remove: 0.0,
             route: 0.90,
             range: 0.05,
             radius: 0.05,
-            snapshot: 0.0,
+            ..Self::zero()
         }
     }
 
@@ -150,26 +204,77 @@ impl OpMix {
             insert: write / 2.0,
             remove: write / 2.0,
             route: read,
-            range: 0.0,
-            radius: 0.0,
-            snapshot: 0.0,
+            ..Self::zero()
         }
     }
 
     /// Routes only (the Figure 6 measurement workload, in batch form).
     pub fn routes_only() -> Self {
         OpMix {
+            route: 1.0,
+            ..Self::zero()
+        }
+    }
+
+    /// A service-centric mix: `pub_pct`% of the ops are pub/sub traffic
+    /// (subscribes, occasional unsubscribes and a publish majority),
+    /// `kv_pct`% are KV traffic (put/get/delete), and the remainder is
+    /// routed read load with light churn — so service semantics are
+    /// continuously exercised *under* membership change.  Percentages are
+    /// clamped so the pair never exceeds 100.  Pair with
+    /// [`OpBatchGenerator::with_zipf_topics`] to concentrate the publish
+    /// traffic into a few hot regions (the flash-crowd shape).
+    pub fn services(pub_pct: u32, kv_pct: u32) -> Self {
+        let p = pub_pct.min(100);
+        let k = kv_pct.min(100 - p);
+        let p = f64::from(p) / 100.0;
+        let k = f64::from(k) / 100.0;
+        let rest = (1.0 - p - k).max(0.0);
+        OpMix {
+            insert: rest * 0.15,
+            remove: rest * 0.10,
+            route: rest * 0.75,
+            subscribe: p * 0.22,
+            unsubscribe: p * 0.03,
+            publish: p * 0.75,
+            kv_put: k * 0.40,
+            kv_get: k * 0.45,
+            kv_delete: k * 0.15,
+            ..Self::zero()
+        }
+    }
+
+    /// The all-zero mix, the base every preset builds on.
+    fn zero() -> Self {
+        OpMix {
             insert: 0.0,
             remove: 0.0,
-            route: 1.0,
+            route: 0.0,
             range: 0.0,
             radius: 0.0,
             snapshot: 0.0,
+            subscribe: 0.0,
+            unsubscribe: 0.0,
+            publish: 0.0,
+            kv_put: 0.0,
+            kv_get: 0.0,
+            kv_delete: 0.0,
         }
     }
 
     fn total(&self) -> f64 {
-        self.insert + self.remove + self.route + self.range + self.radius + self.snapshot
+        self.insert
+            + self.remove
+            + self.route
+            + self.range
+            + self.radius
+            + self.snapshot
+            + self.subscribe
+            + self.unsubscribe
+            + self.publish
+            + self.kv_put
+            + self.kv_get
+            + self.kv_delete
     }
 }
 
@@ -195,6 +300,12 @@ pub struct OpBatchGenerator {
     /// When set, route destinations are Zipf-skewed over population rank
     /// with this exponent instead of uniform.
     zipf_alpha: Option<f64>,
+    /// When set, publish/subscribe regions are drawn from a small fixed
+    /// palette of topic rectangles with Zipf-skewed rank (hot topics).
+    topics: Option<f64>,
+    /// Lazily built topic palette (shared by subscribes and publishes so
+    /// hot publishes actually hit subscribed regions).
+    topic_palette: Vec<Rect>,
 }
 
 impl OpBatchGenerator {
@@ -212,6 +323,8 @@ impl OpBatchGenerator {
             queries: QueryGenerator::with_domain(seed ^ 0xA3EA, domain),
             max_query_extent: 0.1,
             zipf_alpha: None,
+            topics: None,
+            topic_palette: Vec::new(),
         }
     }
 
@@ -229,6 +342,17 @@ impl OpBatchGenerator {
     /// overlay.
     pub fn with_zipf_destinations(mut self, alpha: f64) -> Self {
         self.zipf_alpha = Some(alpha.max(0.0));
+        self
+    }
+
+    /// Draws publish/subscribe regions from a fixed 16-rect topic palette
+    /// with Zipf-skewed rank instead of fresh uniform rectangles: rank `r`
+    /// is chosen with probability proportional to `1 / (r + 1)^alpha`, so
+    /// most publishes concentrate into one hot region — the flash-crowd
+    /// shape the paper's load analysis worries about.  Subscribes draw
+    /// from the same palette, so hot publishes meet standing subscriptions.
+    pub fn with_zipf_topics(mut self, alpha: f64) -> Self {
+        self.topics = Some(alpha.max(0.0));
         self
     }
 
@@ -253,6 +377,12 @@ impl OpBatchGenerator {
                 let after_route = after_remove + self.mix.route;
                 let after_range = after_route + self.mix.range;
                 let after_radius = after_range + self.mix.radius;
+                let after_snapshot = after_radius + self.mix.snapshot;
+                let after_subscribe = after_snapshot + self.mix.subscribe;
+                let after_unsubscribe = after_subscribe + self.mix.unsubscribe;
+                let after_publish = after_unsubscribe + self.mix.publish;
+                let after_kv_put = after_publish + self.mix.kv_put;
+                let after_kv_get = after_kv_put + self.mix.kv_get;
                 if u < after_insert {
                     pop += 1;
                     WorkloadOp::Insert {
@@ -276,9 +406,42 @@ impl OpBatchGenerator {
                         from: self.rng.random_range(0..pop),
                         query: self.queries.radius_query(self.max_query_extent),
                     }
-                } else {
+                } else if u < after_snapshot {
                     WorkloadOp::Snapshot {
                         index: self.rng.random_range(0..pop),
+                    }
+                } else if u < after_subscribe {
+                    WorkloadOp::Subscribe {
+                        index: self.rng.random_range(0..pop),
+                        region: self.service_region(),
+                    }
+                } else if u < after_unsubscribe {
+                    WorkloadOp::Unsubscribe {
+                        index: self.rng.random_range(0..pop),
+                    }
+                } else if u < after_publish {
+                    WorkloadOp::Publish {
+                        from: self.rng.random_range(0..pop),
+                        region: self.service_region(),
+                        payload: self.rng.random_range(0..1_000_000u64),
+                    }
+                } else if u < after_kv_put {
+                    WorkloadOp::KvPut {
+                        from: self.rng.random_range(0..pop),
+                        // Small keyspace on purpose: collisions make gets
+                        // observe earlier puts and deletes actually land.
+                        key: self.rng.random_range(0..64u64),
+                        value: self.rng.random_range(0..1_000_000u64),
+                    }
+                } else if u < after_kv_get {
+                    WorkloadOp::KvGet {
+                        from: self.rng.random_range(0..pop),
+                        key: self.rng.random_range(0..64u64),
+                    }
+                } else {
+                    WorkloadOp::KvDelete {
+                        from: self.rng.random_range(0..pop),
+                        key: self.rng.random_range(0..64u64),
                     }
                 }
             };
@@ -303,6 +466,25 @@ impl OpBatchGenerator {
                     to = (to + 1) % pop;
                 }
                 WorkloadOp::Route { from, to }
+            }
+        }
+    }
+
+    /// Draws the region for a subscribe/publish op: a fresh rectangle per
+    /// op by default, or a Zipf-ranked pick from the lazily built 16-rect
+    /// topic palette once [`with_zipf_topics`](Self::with_zipf_topics) is
+    /// set.
+    fn service_region(&mut self) -> Rect {
+        match self.topics {
+            None => self.queries.range_query(self.max_query_extent).rect,
+            Some(alpha) => {
+                if self.topic_palette.is_empty() {
+                    self.topic_palette = (0..16)
+                        .map(|_| self.queries.range_query(self.max_query_extent).rect)
+                        .collect();
+                }
+                let rank = self.zipf_rank(self.topic_palette.len(), alpha);
+                self.topic_palette[rank]
             }
         }
     }
@@ -417,7 +599,14 @@ mod tests {
 
     #[test]
     fn participant_indices_track_the_scripted_population() {
-        let mut g = OpBatchGenerator::new(Distribution::Uniform, 7, OpMix::churn_heavy());
+        // A mix exercising every family keeps the index invariant honest.
+        let mix = OpMix {
+            range: 0.05,
+            radius: 0.05,
+            snapshot: 0.05,
+            ..OpMix::services(30, 30)
+        };
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 7, mix);
         let mut pop = 20usize;
         for op in g.batch(pop, 1_000) {
             match op {
@@ -429,10 +618,17 @@ mod tests {
                 WorkloadOp::Route { from, to } => {
                     assert!(from < pop && to < pop);
                 }
-                WorkloadOp::Range { from, .. } | WorkloadOp::Radius { from, .. } => {
+                WorkloadOp::Range { from, .. }
+                | WorkloadOp::Radius { from, .. }
+                | WorkloadOp::Publish { from, .. }
+                | WorkloadOp::KvPut { from, .. }
+                | WorkloadOp::KvGet { from, .. }
+                | WorkloadOp::KvDelete { from, .. } => {
                     assert!(from < pop);
                 }
-                WorkloadOp::Snapshot { index } => {
+                WorkloadOp::Snapshot { index }
+                | WorkloadOp::Subscribe { index, .. }
+                | WorkloadOp::Unsubscribe { index } => {
                     assert!(index < pop);
                 }
             }
@@ -501,6 +697,75 @@ mod tests {
             (80..=220).contains(&snaps),
             "snapshot weight ~36% of the mix, got {snaps}/400"
         );
+    }
+
+    #[test]
+    fn services_mix_scripts_service_traffic() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 41, OpMix::services(40, 30));
+        let batch = g.batch(100, 2_000);
+        let count = |pred: fn(&WorkloadOp) -> bool| batch.iter().filter(|op| pred(op)).count();
+        let publishes = count(|op| matches!(op, WorkloadOp::Publish { .. }));
+        let subscribes = count(|op| matches!(op, WorkloadOp::Subscribe { .. }));
+        let kv = count(|op| {
+            matches!(
+                op,
+                WorkloadOp::KvPut { .. } | WorkloadOp::KvGet { .. } | WorkloadOp::KvDelete { .. }
+            )
+        });
+        let routes = count(|op| matches!(op, WorkloadOp::Route { .. }));
+        // 40% pub/sub → ~600 publishes, ~176 subscribes; 30% kv → ~600;
+        // remainder is routed load with light churn.  Wide sampling slack.
+        assert!((450..=750).contains(&publishes), "publishes {publishes}");
+        assert!((100..=260).contains(&subscribes), "subscribes {subscribes}");
+        assert!((450..=750).contains(&kv), "kv {kv}");
+        assert!((300..=620).contains(&routes), "routes {routes}");
+        // KV keys stay inside the small collision-friendly keyspace.
+        for op in &batch {
+            if let WorkloadOp::KvPut { key, .. }
+            | WorkloadOp::KvGet { key, .. }
+            | WorkloadOp::KvDelete { key, .. } = op
+            {
+                assert!(*key < 64);
+            }
+        }
+        // Deterministic for a fixed seed.
+        let mut g2 = OpBatchGenerator::new(Distribution::Uniform, 41, OpMix::services(40, 30));
+        assert_eq!(batch, g2.batch(100, 2_000));
+    }
+
+    #[test]
+    fn zipf_topics_concentrate_publishes() {
+        let mut g = OpBatchGenerator::new(Distribution::Uniform, 13, OpMix::services(60, 0))
+            .with_zipf_topics(1.2);
+        let batch = g.batch(100, 3_000);
+        let mut by_region: std::collections::HashMap<[u64; 4], usize> =
+            std::collections::HashMap::new();
+        let mut publishes = 0usize;
+        for op in &batch {
+            if let WorkloadOp::Publish { region, .. } = op {
+                publishes += 1;
+                let key = [
+                    region.min.x.to_bits(),
+                    region.min.y.to_bits(),
+                    region.max.x.to_bits(),
+                    region.max.y.to_bits(),
+                ];
+                *by_region.entry(key).or_default() += 1;
+            }
+        }
+        assert!(publishes > 500, "publishes {publishes}");
+        // The palette bounds the distinct topics, and the hot topic
+        // carries far more than its uniform share (1/16 ≈ 6%).
+        assert!(by_region.len() <= 16, "topics {}", by_region.len());
+        let hottest = by_region.values().copied().max().unwrap();
+        assert!(
+            hottest * 4 > publishes,
+            "hottest topic carries {hottest}/{publishes}"
+        );
+        // Deterministic with the skew enabled.
+        let mut g2 = OpBatchGenerator::new(Distribution::Uniform, 13, OpMix::services(60, 0))
+            .with_zipf_topics(1.2);
+        assert_eq!(batch, g2.batch(100, 3_000));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`smallworld`] | Kleinberg grid baseline |
 //! | [`core`] | the VoroNet overlay itself, plus its message-driven execution |
 //! | [`api`] | the backend-agnostic [`Overlay`](api::Overlay) trait, batched ops, `OverlayBuilder`, unified errors |
+//! | [`services`] | geo-scoped services over any overlay: region pub/sub and coordinate-keyed KV |
 //! | [`net`] | the wire codec, pluggable transports (vnet/UDP/TCP) and the driver/host cluster behind `voronet-node` |
 //! | `voronet-testkit` | differential oracle fuzzing of every engine, shrinking reproducers (dev-only, not re-exported) |
 //!
@@ -47,6 +48,7 @@ pub use voronet_api as api;
 pub use voronet_core as core;
 pub use voronet_geom as geom;
 pub use voronet_net as net;
+pub use voronet_services as services;
 pub use voronet_sim as sim;
 pub use voronet_smallworld as smallworld;
 pub use voronet_stats as stats;
@@ -55,8 +57,8 @@ pub use voronet_workloads as workloads;
 /// Commonly used items, re-exported for `use voronet::prelude::*`.
 pub mod prelude {
     pub use voronet_api::{
-        AsyncEngine, EngineKind, ErrorKind, Op, OpResult, Overlay, OverlayBuilder, SyncEngine,
-        ViewMaintenance, VoronetError,
+        AsyncEngine, EngineKind, ErrorKind, Op, OpResult, Overlay, OverlayBuilder, ServiceOp,
+        ServiceResult, SyncEngine, ViewMaintenance, VoronetError,
     };
     pub use voronet_core::{
         radius_query, range_query, FrozenView, JoinReport, LeaveReport, ObjectId, ObjectView,
@@ -64,6 +66,7 @@ pub mod prelude {
         VoroNetConfig,
     };
     pub use voronet_geom::{Point2, Rect, Triangulation};
+    pub use voronet_services::{key_point, ServiceEngine};
     pub use voronet_stats::{IntHistogram, Series};
     pub use voronet_workloads::{
         Distribution, OpBatchGenerator, OpMix, PointGenerator, QueryGenerator,
