@@ -38,6 +38,14 @@ pub enum ErrorKind {
     /// (e.g. a service op applied to a bare engine without the service
     /// layer wrapped around it).
     Unsupported,
+    /// The component that must serve this operation is unreachable: its
+    /// host is suspected or declared dead and the retry budget is
+    /// exhausted, so the operation fails fast instead of blocking.
+    Unavailable,
+    /// The operation completed, but through a degraded path (e.g. a KV
+    /// read served by a replica because the owner is unreachable) and the
+    /// result carries weaker guarantees than the healthy-path answer.
+    Degraded,
 }
 
 /// The single error type of the overlay API: what went wrong
@@ -111,6 +119,12 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::Unsupported => {
                 write!(f, "the engine does not support this operation")
             }
+            ErrorKind::Unavailable => {
+                write!(f, "the serving host is unavailable (suspected or dead)")
+            }
+            ErrorKind::Degraded => {
+                write!(f, "served through a degraded path with weaker guarantees")
+            }
         }
     }
 }
@@ -174,6 +188,15 @@ mod tests {
         assert!(text.contains("not symmetric"));
         let bare = VoronetError::new(ErrorKind::OutsideDomain);
         assert_eq!(bare.to_string(), "position outside the attribute domain");
+    }
+
+    #[test]
+    fn fault_taxonomy_variants_render() {
+        let e = VoronetError::with_context(ErrorKind::Unavailable, "host 3 dead");
+        assert!(e.to_string().contains("unavailable"));
+        assert!(e.to_string().contains("host 3 dead"));
+        let e = VoronetError::new(ErrorKind::Degraded);
+        assert!(e.to_string().contains("degraded"));
     }
 
     #[test]

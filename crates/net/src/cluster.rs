@@ -40,15 +40,30 @@
 //! Driver-side control state mirrors the single-process
 //! `ServiceEngine` semantics, so the simulated and deployed paths agree.
 //!
-//! ## Loss tolerance
+//! ## Loss and fault tolerance
 //!
 //! Every request the driver issues carries a fresh correlation token per
-//! attempt and is retried on timeout; view pushes and service pushes are
-//! resent until acked; flood coordinators retransmit unanswered probes.
-//! Handlers are idempotent, so duplication from retries is harmless.
+//! attempt and is retried per a configurable [`RetryPolicy`] (exponential
+//! backoff, seeded jitter, per-op attempt and time budgets); view pushes
+//! and service pushes are resent until acked; flood coordinators
+//! retransmit unanswered probes.  Handlers are idempotent, so duplication
+//! from retries is harmless.
+//!
+//! Beyond loss, the driver runs a failure detector ([`Liveness`]):
+//! piggybacked acks and periodic [`WireMsg::Ping`]s feed a missed-window
+//! counter per host, moving it `Alive → Suspected → Dead`
+//! ([`HostState`], surfaced in [`ClusterStats`]).  Push barriers drop
+//! pushes to dead hosts instead of stalling, ops that must be served by
+//! a dead host fail fast with [`ClusterError::Unavailable`], KV reads
+//! whose owner is unreachable degrade to the Voronoi-neighbour replica
+//! set (validated by a per-entry sequence so a stale copy is never
+//! returned), and a host heard from again after being declared dead is
+//! regenerated from driver control state before the next operation.
 
 use crate::transport::{PeerId, Transport, TransportError};
 use crate::wire::{EntryList, IdList, PointList, WireMsg, WirePurpose, WireQuery};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -67,8 +82,6 @@ pub fn host_of(object: u64, hosts: u64) -> PeerId {
 }
 
 const ACK_RESEND: Duration = Duration::from_millis(200);
-const OP_TIMEOUT: Duration = Duration::from_secs(2);
-const OP_RETRIES: u32 = 5;
 const SYNC_DEADLINE: Duration = Duration::from_secs(60);
 const PROBE_RESEND: Duration = Duration::from_millis(150);
 const PROBE_MAX_ATTEMPTS: u32 = 40;
@@ -80,6 +93,10 @@ pub enum ClusterError {
     Transport(TransportError),
     /// A request exhausted its retries without an answer.
     Timeout(&'static str),
+    /// The host that must serve the operation is dead per the failure
+    /// detector; the operation failed fast instead of burning its
+    /// retry budget.
+    Unavailable(&'static str),
 }
 
 impl fmt::Display for ClusterError {
@@ -87,6 +104,9 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::Transport(e) => write!(f, "cluster transport error: {e}"),
             ClusterError::Timeout(what) => write!(f, "cluster timeout waiting for {what}"),
+            ClusterError::Unavailable(what) => {
+                write!(f, "cluster host unavailable (suspected or dead) for {what}")
+            }
         }
     }
 }
@@ -97,6 +117,194 @@ impl From<TransportError> for ClusterError {
     fn from(e: TransportError) -> Self {
         ClusterError::Transport(e)
     }
+}
+
+impl ClusterError {
+    /// Maps onto the overlay API's unified taxonomy.
+    pub fn kind(&self) -> voronet_core::ErrorKind {
+        match self {
+            ClusterError::Transport(_) | ClusterError::Timeout(_) => {
+                voronet_core::ErrorKind::OperationLost
+            }
+            ClusterError::Unavailable(_) => voronet_core::ErrorKind::Unavailable,
+        }
+    }
+}
+
+/// Retry discipline of driver-issued requests: exponential backoff with
+/// deterministic seeded jitter, bounded per attempt and per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Timeout of the first attempt.
+    pub base: Duration,
+    /// Multiplier applied to each further attempt's timeout.
+    pub factor: f64,
+    /// Ceiling of any single attempt's timeout.
+    pub max_timeout: Duration,
+    /// Maximum number of attempts per operation.
+    pub attempts: u32,
+    /// Wall-clock budget of the whole operation across attempts: once
+    /// exceeded the operation fails even if attempts remain.
+    pub budget: Duration,
+    /// Jitter amplitude: each attempt's timeout is scaled by a factor
+    /// drawn uniformly from `1 ± jitter/2` (`0.0` disables jitter).
+    pub jitter: f64,
+    /// Seed of the jitter stream, so retry timing replays exactly.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_secs(2),
+            factor: 2.0,
+            max_timeout: Duration::from_secs(8),
+            attempts: 5,
+            budget: Duration::from_secs(30),
+            jitter: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A tight policy for chaos runs and tests: small timeouts, small
+    /// budget, jittered — fails fast instead of stalling a scenario.
+    pub fn tight() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(120),
+            factor: 2.0,
+            max_timeout: Duration::from_millis(500),
+            attempts: 4,
+            budget: Duration::from_secs(3),
+            jitter: 0.25,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Driver-side liveness verdict about one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostState {
+    /// Answering within its ping windows.
+    Alive,
+    /// Missed enough windows to be suspected: KV reads owned by it are
+    /// served from replicas, but it is still retried.
+    Suspected,
+    /// Missed enough windows to be excluded: pushes to it are skipped
+    /// and ops it must serve fail fast with
+    /// [`ClusterError::Unavailable`].  Still pinged, so a restart is
+    /// detected and the host regenerated.
+    Dead,
+}
+
+/// Knobs of the driver's failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Liveness {
+    /// Consecutive unanswered ping windows before a host turns
+    /// [`HostState::Suspected`].
+    pub suspect_after: u32,
+    /// Consecutive unanswered ping windows before a host turns
+    /// [`HostState::Dead`].
+    pub dead_after: u32,
+    /// Gap between liveness pings to one host; any frame received from
+    /// the host counts as an answer (piggybacked acks).
+    pub ping_interval: Duration,
+}
+
+impl Default for Liveness {
+    fn default() -> Self {
+        Liveness {
+            suspect_after: 3,
+            dead_after: 6,
+            ping_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Liveness {
+    /// A fast-converging detector for chaos runs and tests.
+    pub fn tight() -> Self {
+        Liveness {
+            suspect_after: 2,
+            dead_after: 4,
+            ping_interval: Duration::from_millis(60),
+        }
+    }
+}
+
+/// Liveness states and fault counters of a cluster driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Every host's current [`HostState`], ascending by peer.
+    pub hosts: Vec<(PeerId, HostState)>,
+    /// Retried request attempts (beyond each op's first).
+    pub retries: u64,
+    /// Operations refused fast because their host was dead.
+    pub fail_fast: u64,
+    /// KV reads served through the replica fallback.
+    pub degraded_reads: u64,
+    /// `Alive → Suspected` transitions observed.
+    pub suspicions: u64,
+    /// `→ Dead` transitions observed.
+    pub deaths: u64,
+    /// `Dead → Alive` transitions observed (host regenerated).
+    pub revivals: u64,
+    /// View/service pushes dropped because their target was dead.
+    pub skipped_pushes: u64,
+}
+
+/// Driver-side health record of one host.
+#[derive(Debug)]
+struct HostHealth {
+    missed: u32,
+    state: HostState,
+    last_ping: Instant,
+    last_heard: Instant,
+}
+
+/// Spin-then-sleep waiter for the driver's receive loops: the first
+/// iterations only yield (sub-millisecond answers stay fast), then it
+/// sleeps with exponential growth so a lossy wait doesn't burn a core.
+#[derive(Debug)]
+struct Backoff {
+    idle: u32,
+    sleep: Duration,
+}
+
+const BACKOFF_SPINS: u32 = 64;
+const BACKOFF_SLEEP_FLOOR: Duration = Duration::from_micros(50);
+const BACKOFF_SLEEP_CEIL: Duration = Duration::from_millis(1);
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff {
+            idle: 0,
+            sleep: BACKOFF_SLEEP_FLOOR,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.idle = 0;
+        self.sleep = BACKOFF_SLEEP_FLOOR;
+    }
+
+    fn wait(&mut self) {
+        if self.idle < BACKOFF_SPINS {
+            self.idle += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(self.sleep);
+            self.sleep = (self.sleep * 2).min(BACKOFF_SLEEP_CEIL);
+        }
+    }
+}
+
+/// Which ack family clears a pending push in [`Driver::await_acks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AckKind {
+    View,
+    Svc,
 }
 
 /// Outcome of one applied [`WorkloadOp`].
@@ -160,6 +368,8 @@ pub enum OpOutcome {
         owner: u64,
         /// True when an existing entry was overwritten.
         replaced: bool,
+        /// Voronoi-neighbour replicas the entry was mirrored to.
+        replicas: u32,
     },
     /// KV get: the value fetched from the owning cell's host.
     KvFetched {
@@ -169,6 +379,9 @@ pub enum OpOutcome {
         owner: u64,
         /// The stored value, `None` when the key is absent.
         value: Option<u64>,
+        /// True when the owner's host was unreachable and the value was
+        /// served by a Voronoi-neighbour replica instead.
+        degraded: bool,
     },
     /// KV delete: whether an entry was dropped.
     KvDropped {
@@ -215,13 +428,16 @@ struct PendingPush {
     frame: Vec<u8>,
 }
 
-/// Driver-side control record of one coordinate-keyed entry: its value
-/// and the object whose Voronoi cell currently stores it (the data
-/// itself lives at that object's host).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Driver-side control record of one coordinate-keyed entry: its value,
+/// the object whose Voronoi cell currently stores it, that object's
+/// replica set (its Voronoi neighbours), and the entry's write sequence
+/// used to validate replica freshness on degraded reads.
+#[derive(Debug, Clone, PartialEq)]
 struct KvPlacement {
     value: u64,
     owner: u64,
+    entry_seq: u64,
+    replicas: Vec<u64>,
 }
 
 /// The cluster controller: authoritative tessellation + view
@@ -239,12 +455,27 @@ pub struct Driver<T: Transport> {
     topic_seqs: HashMap<[u64; 4], u64>,
     kv: HashMap<u64, KvPlacement>,
     svc_seqs: HashMap<u64, u64>,
+    kv_seq: u64,
+    policy: RetryPolicy,
+    liveness: Liveness,
+    jitter_rng: StdRng,
+    health: HashMap<PeerId, HostHealth>,
+    revived: Vec<PeerId>,
+    in_revival: bool,
+    retries: u64,
+    fail_fast: u64,
+    degraded_reads: u64,
+    suspicions: u64,
+    deaths: u64,
+    revivals: u64,
+    skipped_pushes: u64,
 }
 
 impl<T: Transport> Driver<T> {
     /// Creates a driver over an already-bound transport (peers must be
     /// registered by the caller) controlling `hosts` host peers.
     pub fn new(transport: T, hosts: u64, config: VoroNetConfig) -> Self {
+        let policy = RetryPolicy::default();
         Driver {
             t: transport,
             hosts,
@@ -257,7 +488,179 @@ impl<T: Transport> Driver<T> {
             topic_seqs: HashMap::new(),
             kv: HashMap::new(),
             svc_seqs: HashMap::new(),
+            kv_seq: 0,
+            jitter_rng: StdRng::seed_from_u64(policy.seed),
+            policy,
+            liveness: Liveness::default(),
+            health: HashMap::new(),
+            revived: Vec::new(),
+            in_revival: false,
+            retries: 0,
+            fail_fast: 0,
+            degraded_reads: 0,
+            suspicions: 0,
+            deaths: 0,
+            revivals: 0,
+            skipped_pushes: 0,
         }
+    }
+
+    /// Replaces the retry policy, reseeding the jitter stream.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.jitter_rng = StdRng::seed_from_u64(policy.seed);
+        self.policy = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Replaces the failure-detector knobs.
+    pub fn set_liveness(&mut self, liveness: Liveness) {
+        self.liveness = liveness;
+    }
+
+    /// The driver's current liveness verdict about one host.
+    pub fn host_state(&self, peer: PeerId) -> HostState {
+        self.health
+            .get(&peer)
+            .map(|h| h.state)
+            .unwrap_or(HostState::Alive)
+    }
+
+    /// Liveness states and fault counters.
+    pub fn cluster_stats(&self) -> ClusterStats {
+        ClusterStats {
+            hosts: (1..=self.hosts)
+                .map(|peer| (peer, self.host_state(peer)))
+                .collect(),
+            retries: self.retries,
+            fail_fast: self.fail_fast,
+            degraded_reads: self.degraded_reads,
+            suspicions: self.suspicions,
+            deaths: self.deaths,
+            revivals: self.revivals,
+            skipped_pushes: self.skipped_pushes,
+        }
+    }
+
+    /// One failure-detector round without an overlay operation: pings
+    /// due hosts and drains pending frames, updating host states.  A
+    /// chaos harness calls this in a loop to converge detection of a
+    /// crash or of a restart.
+    pub fn heartbeat(&mut self) -> Result<(), ClusterError> {
+        self.maybe_ping()?;
+        self.t.poll()?;
+        let mut buf = std::mem::take(&mut self.buf);
+        while self.recv_noted(&mut buf)?.is_some() {}
+        self.buf = buf;
+        Ok(())
+    }
+
+    fn host_dead(&self, peer: PeerId) -> bool {
+        matches!(self.host_state(peer), HostState::Dead)
+    }
+
+    fn health_entry(&mut self, peer: PeerId) -> &mut HostHealth {
+        self.health.entry(peer).or_insert_with(|| HostHealth {
+            missed: 0,
+            state: HostState::Alive,
+            last_ping: Instant::now(),
+            last_heard: Instant::now(),
+        })
+    }
+
+    /// Any frame from a host is a liveness proof: resets its missed
+    /// counter and, when it was declared dead, queues it for
+    /// regeneration before the next operation.
+    fn note_heard(&mut self, peer: PeerId) {
+        if peer < 1 || peer > self.hosts {
+            return;
+        }
+        let h = self.health_entry(peer);
+        h.last_heard = Instant::now();
+        h.missed = 0;
+        match h.state {
+            HostState::Alive => {}
+            HostState::Suspected => h.state = HostState::Alive,
+            HostState::Dead => {
+                h.state = HostState::Alive;
+                self.revivals += 1;
+                self.revived.push(peer);
+            }
+        }
+    }
+
+    /// One missed window: advances the host along
+    /// `Alive → Suspected → Dead`.
+    fn note_timeout(&mut self, peer: PeerId) {
+        let Liveness {
+            suspect_after,
+            dead_after,
+            ..
+        } = self.liveness;
+        let h = self.health_entry(peer);
+        h.missed = h.missed.saturating_add(1);
+        if h.missed >= dead_after && h.state != HostState::Dead {
+            h.state = HostState::Dead;
+            self.deaths += 1;
+        } else if h.missed >= suspect_after && h.state == HostState::Alive {
+            h.state = HostState::Suspected;
+            self.suspicions += 1;
+        }
+    }
+
+    /// `recv_into` with the piggybacked-liveness hook: every received
+    /// frame marks its sender heard.
+    fn recv_noted(&mut self, buf: &mut Vec<u8>) -> Result<Option<PeerId>, ClusterError> {
+        let from = self.t.recv_into(buf)?;
+        if let Some(peer) = from {
+            self.note_heard(peer);
+        }
+        Ok(from)
+    }
+
+    /// Sends a liveness ping to every host whose ping window elapsed;
+    /// a window that passed without hearing from the host counts
+    /// against it.  Dead hosts keep being pinged so a restart is
+    /// detected.
+    fn maybe_ping(&mut self) -> Result<(), ClusterError> {
+        let interval = self.liveness.ping_interval;
+        let mut due: Vec<(PeerId, bool)> = Vec::new();
+        for peer in 1..=self.hosts {
+            let h = self.health_entry(peer);
+            if h.last_ping.elapsed() >= interval {
+                let unanswered = h.last_heard < h.last_ping;
+                h.last_ping = Instant::now();
+                due.push((peer, unanswered));
+            }
+        }
+        for (peer, unanswered) in due {
+            if unanswered {
+                self.note_timeout(peer);
+            }
+            let mut frame = std::mem::take(&mut self.buf);
+            WireMsg::Ping { reply: false }
+                .encode(DRIVER_PEER, peer, &mut frame)
+                .expect("ping is tiny");
+            self.t.send(peer, &frame)?;
+            self.buf = frame;
+        }
+        Ok(())
+    }
+
+    /// The per-attempt timeout of the retry policy: exponential in the
+    /// attempt number, capped, jittered from the seeded stream.
+    fn attempt_timeout(&mut self, attempt: u32) -> Duration {
+        let exp = self.policy.base.as_secs_f64() * self.policy.factor.powi(attempt.min(20) as i32);
+        let capped = exp.min(self.policy.max_timeout.as_secs_f64());
+        let scaled = if self.policy.jitter > 0.0 {
+            capped * (1.0 + self.policy.jitter * (self.jitter_rng.random::<f64>() - 0.5))
+        } else {
+            capped
+        };
+        Duration::from_secs_f64(scaled.max(1e-4))
     }
 
     /// Read access to the authoritative overlay.
@@ -349,29 +752,61 @@ impl<T: Transport> Driver<T> {
             self.shipped.insert(object, current);
         }
 
+        self.await_acks(pending, AckKind::View, "view acks")
+    }
+
+    /// Removes pending pushes whose target host is dead (the barrier
+    /// must not stall on a host that cannot ack); the driver re-ships
+    /// dropped state if the host ever comes back.
+    fn drop_dead_pushes(&mut self, pending: &mut HashMap<(u64, u64), PendingPush>) {
+        let before = pending.len();
+        pending.retain(|_, push| !matches!(self.host_state(push.peer), HostState::Dead));
+        self.skipped_pushes += (before - pending.len()) as u64;
+    }
+
+    /// Sends every queued push and blocks until each one is acked or
+    /// dropped (its target died), resending on a timer and running the
+    /// failure detector while waiting.
+    fn await_acks(
+        &mut self,
+        mut pending: HashMap<(u64, u64), PendingPush>,
+        kind: AckKind,
+        what: &'static str,
+    ) -> Result<(), ClusterError> {
+        self.drop_dead_pushes(&mut pending);
         for push in pending.values() {
             self.t.send(push.peer, &push.frame)?;
         }
         let overall = Instant::now();
         let mut last_resend = Instant::now();
         let mut buf = Vec::new();
+        let mut backoff = Backoff::new();
         while !pending.is_empty() {
             if overall.elapsed() > SYNC_DEADLINE {
-                return Err(ClusterError::Timeout("view acks"));
+                return Err(ClusterError::Timeout(what));
             }
-            match self.t.recv_into(&mut buf)? {
+            match self.recv_noted(&mut buf)? {
                 Some(_) => {
+                    backoff.reset();
                     // Anything else here is a stale answer from an
                     // abandoned attempt; ignore it.
-                    if let Ok((
-                        _,
-                        WireMsg::ViewAck { object, seq } | WireMsg::EvictAck { object, seq },
-                    )) = WireMsg::decode(&buf)
-                    {
-                        pending.remove(&(object, seq));
+                    if let Ok((_, msg)) = WireMsg::decode(&buf) {
+                        match (kind, msg) {
+                            (
+                                AckKind::View,
+                                WireMsg::ViewAck { object, seq }
+                                | WireMsg::EvictAck { object, seq },
+                            )
+                            | (AckKind::Svc, WireMsg::SvcAck { object, seq }) => {
+                                pending.remove(&(object, seq));
+                            }
+                            _ => {}
+                        }
                     }
                 }
                 None => {
+                    self.maybe_ping()?;
+                    self.drop_dead_pushes(&mut pending);
                     if last_resend.elapsed() > ACK_RESEND {
                         for push in pending.values() {
                             self.t.send(push.peer, &push.frame)?;
@@ -379,8 +814,128 @@ impl<T: Transport> Driver<T> {
                         last_resend = Instant::now();
                     }
                     self.t.poll()?;
+                    backoff.wait();
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for a frame `accept`s, running the failure
+    /// detector and backoff while idle.  Returns `Ok(None)` when the
+    /// window closes, `peer` is declared dead, or `deadline` (the op's
+    /// budget) passes — the caller decides whether to retry.
+    fn await_reply<R>(
+        &mut self,
+        peer: PeerId,
+        timeout: Duration,
+        deadline: Instant,
+        accept: &mut dyn FnMut(PeerId, &[u8]) -> Option<R>,
+    ) -> Result<Option<R>, ClusterError> {
+        let start = Instant::now();
+        let mut buf = Vec::new();
+        let mut backoff = Backoff::new();
+        while start.elapsed() < timeout {
+            match self.recv_noted(&mut buf)? {
+                Some(from) => {
+                    backoff.reset();
+                    if let Some(r) = accept(from, &buf) {
+                        return Ok(Some(r));
+                    }
+                }
+                None => {
+                    self.maybe_ping()?;
+                    if self.host_dead(peer) {
+                        return Ok(None);
+                    }
+                    self.t.poll()?;
+                    backoff.wait();
+                }
+            }
+            if Instant::now() > deadline {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Regenerates hosts that came back from the dead before the next
+    /// operation touches them: re-ships their view snapshots (and evicts
+    /// stale ones), then replays their service state — subscriptions,
+    /// owned KV entries and replica copies — from driver control state.
+    /// Monotonic push sequences make the replay idempotent for a host
+    /// that kept its state and restorative for one that lost it.
+    fn service_revivals(&mut self) -> Result<(), ClusterError> {
+        if self.revived.is_empty() || self.in_revival {
+            return Ok(());
+        }
+        self.in_revival = true;
+        let result = self.regenerate_revived();
+        self.in_revival = false;
+        result
+    }
+
+    fn regenerate_revived(&mut self) -> Result<(), ClusterError> {
+        while let Some(peer) = self.revived.pop() {
+            let hosts = self.hosts;
+            // Forget what was shipped to the revived host so sync_views
+            // re-pushes every view it must hold, and re-evict departed
+            // objects whose eviction it may have missed.
+            self.shipped
+                .retain(|&object, _| host_of(object, hosts) != peer);
+            let stale: Vec<u64> = self
+                .seqs
+                .keys()
+                .copied()
+                .filter(|&object| {
+                    host_of(object, hosts) == peer
+                        && self.net.coords(voronet_core::ObjectId(object)).is_none()
+                })
+                .collect();
+            self.sync_views(&stale)?;
+
+            let subs: Vec<(u64, Rect)> = self
+                .subs
+                .iter()
+                .filter(|&(&id, _)| host_of(id, hosts) == peer)
+                .map(|(&id, &region)| (id, region))
+                .collect();
+            let entries: Vec<(u64, KvPlacement)> =
+                self.kv.iter().map(|(&k, p)| (k, p.clone())).collect();
+            let mut pending = HashMap::new();
+            for (id, region) in subs {
+                self.queue_service_push(&mut pending, id, |seq| WireMsg::SvcSubscribe {
+                    object: id,
+                    seq,
+                    region,
+                });
+            }
+            for (key, p) in entries {
+                if host_of(p.owner, hosts) == peer {
+                    let (object, value) = (p.owner, p.value);
+                    self.queue_service_push(&mut pending, object, |seq| WireMsg::SvcKvStore {
+                        object,
+                        seq,
+                        key,
+                        value,
+                    });
+                }
+                for &replica in &p.replicas {
+                    if replica != p.owner && host_of(replica, hosts) == peer {
+                        let (value, entry_seq) = (p.value, p.entry_seq);
+                        self.queue_service_push(&mut pending, replica, |seq| {
+                            WireMsg::SvcKvReplicate {
+                                object: replica,
+                                seq,
+                                key,
+                                value,
+                                entry_seq,
+                            }
+                        });
+                    }
+                }
+            }
+            self.flush_service_pushes(pending)?;
         }
         Ok(())
     }
@@ -389,6 +944,7 @@ impl<T: Transport> Driver<T> {
     /// every affected view.  `Ok(None)` when the overlay rejects the
     /// position (duplicate).
     pub fn insert(&mut self, position: Point2) -> Result<Option<u64>, ClusterError> {
+        self.service_revivals()?;
         match self.net.insert(position) {
             Ok(report) => {
                 let id = report.id.0;
@@ -408,6 +964,7 @@ impl<T: Transport> Driver<T> {
         if self.net.is_empty() {
             return Ok(None);
         }
+        self.service_revivals()?;
         let id = self
             .net
             .id_at(index % self.net.len())
@@ -427,7 +984,10 @@ impl<T: Transport> Driver<T> {
 
     /// Sends one request frame and waits for the answer matching
     /// `token`, retrying the whole request (with the same pre-encoded
-    /// frame) on timeout.
+    /// frame) per the retry policy.  Fails fast with
+    /// [`ClusterError::Unavailable`] when the serving host is dead —
+    /// before sending, or as soon as the failure detector declares it
+    /// mid-wait.
     fn request(
         &mut self,
         peer: PeerId,
@@ -435,46 +995,59 @@ impl<T: Transport> Driver<T> {
         token: u64,
         what: &'static str,
     ) -> Result<(u32, OpOutcome), ClusterError> {
-        for _ in 0..OP_RETRIES {
+        if self.host_dead(peer) {
+            self.fail_fast += 1;
+            return Err(ClusterError::Unavailable(what));
+        }
+        let deadline = Instant::now() + self.policy.budget;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                self.retries += 1;
+            }
             self.t.send(peer, request)?;
-            let start = Instant::now();
-            let mut buf = Vec::new();
-            while start.elapsed() < OP_TIMEOUT {
-                match self.t.recv_into(&mut buf)? {
-                    Some(_) => {
-                        if let Ok((_, msg)) = WireMsg::decode(&buf) {
-                            match msg {
-                                WireMsg::AnswerOwner {
-                                    token: t,
-                                    owner,
-                                    hops,
-                                } if t == token => {
-                                    return Ok((hops, OpOutcome::Route { owner, hops }));
-                                }
-                                WireMsg::AnswerMatches {
-                                    token: t,
-                                    hops,
-                                    visited,
-                                    matches,
-                                } if t == token => {
-                                    return Ok((
-                                        hops,
-                                        OpOutcome::Matches {
-                                            matches: matches.to_vec(),
-                                            hops,
-                                            visited,
-                                        },
-                                    ));
-                                }
-                                _ => {} // stale token or late ack
-                            }
-                        }
-                    }
-                    None => self.t.poll()?,
+            let timeout = self.attempt_timeout(attempt);
+            let got = self.await_reply(peer, timeout, deadline, &mut |_, frame| {
+                match WireMsg::decode(frame) {
+                    Ok((
+                        _,
+                        WireMsg::AnswerOwner {
+                            token: t,
+                            owner,
+                            hops,
+                        },
+                    )) if t == token => Some((hops, OpOutcome::Route { owner, hops })),
+                    Ok((
+                        _,
+                        WireMsg::AnswerMatches {
+                            token: t,
+                            hops,
+                            visited,
+                            matches,
+                        },
+                    )) if t == token => Some((
+                        hops,
+                        OpOutcome::Matches {
+                            matches: matches.to_vec(),
+                            hops,
+                            visited,
+                        },
+                    )),
+                    _ => None, // stale token or late ack
                 }
+            })?;
+            if let Some(answer) = got {
+                return Ok(answer);
+            }
+            if self.host_dead(peer) || Instant::now() > deadline {
+                break;
             }
         }
-        Err(ClusterError::Timeout(what))
+        if self.host_dead(peer) {
+            self.fail_fast += 1;
+            Err(ClusterError::Unavailable(what))
+        } else {
+            Err(ClusterError::Timeout(what))
+        }
     }
 
     /// Routes from the `from`-th live object towards the `to`-th one's
@@ -483,6 +1056,7 @@ impl<T: Transport> Driver<T> {
         if self.net.is_empty() {
             return Ok(OpOutcome::Skipped);
         }
+        self.service_revivals()?;
         let n = self.net.len();
         let from_id = self.net.id_at(from % n).expect("index below len").0;
         let to_id = self.net.id_at(to % n).expect("index below len");
@@ -510,6 +1084,7 @@ impl<T: Transport> Driver<T> {
         if self.net.is_empty() {
             return Ok(OpOutcome::Skipped);
         }
+        self.service_revivals()?;
         let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
         let token = self.fresh_token();
         let mut frame = Vec::new();
@@ -535,6 +1110,7 @@ impl<T: Transport> Driver<T> {
         if self.net.is_empty() {
             return Ok(OpOutcome::Skipped);
         }
+        self.service_revivals()?;
         let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
         let token = self.fresh_token();
         let mut frame = Vec::new();
@@ -576,40 +1152,14 @@ impl<T: Transport> Driver<T> {
         pending.insert((object, seq), PendingPush { peer, frame });
     }
 
-    /// Sends queued service pushes and blocks until every one is acked,
-    /// resending on a timer (the `sync_views` discipline).
+    /// Sends queued service pushes and blocks until every one is acked
+    /// or dropped (its target died), resending on a timer (the
+    /// `sync_views` discipline).
     fn flush_service_pushes(
         &mut self,
-        mut pending: HashMap<(u64, u64), PendingPush>,
+        pending: HashMap<(u64, u64), PendingPush>,
     ) -> Result<(), ClusterError> {
-        for push in pending.values() {
-            self.t.send(push.peer, &push.frame)?;
-        }
-        let overall = Instant::now();
-        let mut last_resend = Instant::now();
-        let mut buf = Vec::new();
-        while !pending.is_empty() {
-            if overall.elapsed() > SYNC_DEADLINE {
-                return Err(ClusterError::Timeout("service push acks"));
-            }
-            match self.t.recv_into(&mut buf)? {
-                Some(_) => {
-                    if let Ok((_, WireMsg::SvcAck { object, seq })) = WireMsg::decode(&buf) {
-                        pending.remove(&(object, seq));
-                    }
-                }
-                None => {
-                    if last_resend.elapsed() > ACK_RESEND {
-                        for push in pending.values() {
-                            self.t.send(push.peer, &push.frame)?;
-                        }
-                        last_resend = Instant::now();
-                    }
-                    self.t.poll()?;
-                }
-            }
-        }
-        Ok(())
+        self.await_acks(pending, AckKind::Svc, "service push acks")
     }
 
     /// Routes from a live object towards an arbitrary point through the
@@ -640,6 +1190,7 @@ impl<T: Transport> Driver<T> {
         if self.net.is_empty() {
             return Ok(OpOutcome::Skipped);
         }
+        self.service_revivals()?;
         let id = self.net.id_at(index % self.net.len()).expect("live").0;
         let replaced = self.subs.insert(id, region).is_some();
         let mut pending = HashMap::new();
@@ -657,6 +1208,7 @@ impl<T: Transport> Driver<T> {
         if self.net.is_empty() {
             return Ok(OpOutcome::Skipped);
         }
+        self.service_revivals()?;
         let id = self.net.id_at(index % self.net.len()).expect("live").0;
         let existed = self.subs.remove(&id).is_some();
         let mut pending = HashMap::new();
@@ -727,83 +1279,246 @@ impl<T: Transport> Driver<T> {
         })
     }
 
-    /// Stores `key → value` at the host of the object whose Voronoi cell
-    /// contains the key's coordinates, located by a distributed route
-    /// from the `from`-th live object.
-    pub fn kv_put(&mut self, from: usize, key: u64, value: u64) -> Result<OpOutcome, ClusterError> {
-        if self.net.is_empty() {
-            return Ok(OpOutcome::Skipped);
+    /// The replica set of one owner object — its Voronoi neighbours,
+    /// the exact rule of the single-process `ServiceEngine`.
+    fn replicas_of(&self, owner: u64) -> Vec<u64> {
+        let Ok(view) = self.net.view(voronet_core::ObjectId(owner)) else {
+            return Vec::new();
+        };
+        let mut replicas: Vec<u64> = view.voronoi_neighbours.iter().map(|n| n.0).collect();
+        replicas.sort_unstable();
+        replicas
+    }
+
+    /// The owning object of a point per the authoritative tessellation
+    /// (min squared distance, ties to the lower id — the `rebalance_kv`
+    /// rule).
+    fn local_owner_of(&self, target: Point2) -> Option<u64> {
+        self.net
+            .ids()
+            .map(|id| (self.net.coords(id).expect("live").distance2(target), id.0))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .map(|(_, id)| id)
+    }
+
+    /// Locates the owner of a point: the distributed greedy route
+    /// decides on the healthy path; when the route cannot complete
+    /// because hosts on it are dead, the authoritative tessellation
+    /// decides instead (the same owner the healthy route converges to).
+    fn owner_of_point(&mut self, from_id: u64, target: Point2) -> Result<u64, ClusterError> {
+        match self.route_point_from(from_id, target) {
+            Ok((owner, _)) => Ok(owner),
+            Err(ClusterError::Timeout(_) | ClusterError::Unavailable(_)) => self
+                .local_owner_of(target)
+                .ok_or(ClusterError::Unavailable("kv owner")),
+            Err(e) => Err(e),
         }
-        let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
-        let target = key_point(key, self.net.config().domain);
-        let (owner, _) = self.route_point_from(from_id, target)?;
-        let old = self.kv.insert(key, KvPlacement { value, owner });
-        let mut pending = HashMap::new();
-        self.queue_service_push(&mut pending, owner, |seq| WireMsg::SvcKvStore {
+    }
+
+    /// Queues the final replication layout of one entry: the owner
+    /// stores, each replica mirrors, and every previously involved live
+    /// object no longer in the layout drops.  At most one push per
+    /// `(object, key)`, so the host-side sequence filter can never let a
+    /// reordered resend leave a stale role behind.
+    fn queue_kv_layout(
+        &mut self,
+        pending: &mut HashMap<(u64, u64), PendingPush>,
+        key: u64,
+        placement: &KvPlacement,
+        previous: &[u64],
+    ) {
+        let mut dropped: BTreeSet<u64> = previous.iter().copied().collect();
+        dropped.remove(&placement.owner);
+        for replica in &placement.replicas {
+            dropped.remove(replica);
+        }
+        let (owner, value, entry_seq) = (placement.owner, placement.value, placement.entry_seq);
+        self.queue_service_push(pending, owner, |seq| WireMsg::SvcKvStore {
             object: owner,
             seq,
             key,
             value,
         });
-        if let Some(old) = old {
-            if old.owner != owner {
-                self.queue_service_push(&mut pending, old.owner, |seq| WireMsg::SvcKvDrop {
-                    object: old.owner,
-                    seq,
-                    key,
-                });
+        for &replica in &placement.replicas {
+            if replica == owner {
+                continue;
             }
+            self.queue_service_push(pending, replica, |seq| WireMsg::SvcKvReplicate {
+                object: replica,
+                seq,
+                key,
+                value,
+                entry_seq,
+            });
         }
+        for object in dropped {
+            // A departed object's host already dropped the entry when
+            // the object was evicted; only live former roles need it.
+            if self.net.coords(voronet_core::ObjectId(object)).is_none() {
+                continue;
+            }
+            self.queue_service_push(pending, object, |seq| WireMsg::SvcKvDrop {
+                object,
+                seq,
+                key,
+            });
+        }
+    }
+
+    /// Stores `key → value` at the host of the object whose Voronoi cell
+    /// contains the key's coordinates (located by a distributed route
+    /// from the `from`-th live object) and mirrors it to the owner's
+    /// Voronoi-neighbour replica set, so an acked write survives any
+    /// single-host crash.
+    pub fn kv_put(&mut self, from: usize, key: u64, value: u64) -> Result<OpOutcome, ClusterError> {
+        if self.net.is_empty() {
+            return Ok(OpOutcome::Skipped);
+        }
+        self.service_revivals()?;
+        let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
+        let target = key_point(key, self.net.config().domain);
+        let owner = self.owner_of_point(from_id, target)?;
+        self.kv_seq += 1;
+        let placement = KvPlacement {
+            value,
+            owner,
+            entry_seq: self.kv_seq,
+            replicas: self.replicas_of(owner),
+        };
+        let replicas = placement.replicas.len() as u32;
+        let old = self.kv.insert(key, placement.clone());
+        let mut previous = Vec::new();
+        if let Some(old) = &old {
+            previous.push(old.owner);
+            previous.extend(old.replicas.iter().copied());
+        }
+        let mut pending = HashMap::new();
+        self.queue_kv_layout(&mut pending, key, &placement, &previous);
         self.flush_service_pushes(pending)?;
         Ok(OpOutcome::KvStored {
             key,
             owner,
             replaced: old.is_some(),
+            replicas,
         })
     }
 
     /// Reads `key` from the host of the owning cell's object — the route
     /// decides the owner, so a get issued after churn reads from
-    /// wherever the entry migrated to.
+    /// wherever the entry migrated to.  When the owner's host is
+    /// suspected or dead (or stops answering mid-read), the read
+    /// degrades to the replica set instead of failing.
     pub fn kv_get(&mut self, from: usize, key: u64) -> Result<OpOutcome, ClusterError> {
         if self.net.is_empty() {
             return Ok(OpOutcome::Skipped);
         }
+        self.service_revivals()?;
         let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
         let target = key_point(key, self.net.config().domain);
-        let (owner, _) = self.route_point_from(from_id, target)?;
-        let value = self.fetch_value(owner, key)?;
-        Ok(OpOutcome::KvFetched { key, owner, value })
+        let owner = self.owner_of_point(from_id, target)?;
+        if matches!(
+            self.host_state(host_of(owner, self.hosts)),
+            HostState::Alive
+        ) {
+            match self.fetch_value(owner, key) {
+                Ok(value) => {
+                    return Ok(OpOutcome::KvFetched {
+                        key,
+                        owner,
+                        value,
+                        degraded: false,
+                    })
+                }
+                Err(ClusterError::Timeout(_) | ClusterError::Unavailable(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.degraded_kv_get(key, owner)
     }
 
-    /// Deletes `key` from the host of the owning cell's object.
+    /// Serves a read whose owner host is unreachable from the replica
+    /// set, accepting only a replica whose entry sequence matches the
+    /// driver's record — a stale copy is never returned.
+    fn degraded_kv_get(&mut self, key: u64, owner: u64) -> Result<OpOutcome, ClusterError> {
+        self.degraded_reads += 1;
+        let Some(placement) = self.kv.get(&key).cloned() else {
+            // No acked write for this key: absence is an exact answer
+            // even while the owning host is down.
+            return Ok(OpOutcome::KvFetched {
+                key,
+                owner,
+                value: None,
+                degraded: true,
+            });
+        };
+        for &replica in &placement.replicas {
+            if self.host_dead(host_of(replica, self.hosts)) {
+                continue;
+            }
+            if let Ok(Some((value, entry_seq))) = self.fetch_replica(replica, key) {
+                if entry_seq == placement.entry_seq {
+                    return Ok(OpOutcome::KvFetched {
+                        key,
+                        owner: placement.owner,
+                        value: Some(value),
+                        degraded: true,
+                    });
+                }
+            }
+        }
+        self.fail_fast += 1;
+        Err(ClusterError::Unavailable("kv degraded read"))
+    }
+
+    /// Deletes `key` from the host of the owning cell's object and from
+    /// every replica.
     pub fn kv_delete(&mut self, from: usize, key: u64) -> Result<OpOutcome, ClusterError> {
         if self.net.is_empty() {
             return Ok(OpOutcome::Skipped);
         }
+        self.service_revivals()?;
         let from_id = self.net.id_at(from % self.net.len()).expect("live").0;
         let target = key_point(key, self.net.config().domain);
-        let (owner, _) = self.route_point_from(from_id, target)?;
-        let existed = self.kv.remove(&key).is_some();
+        let owner = self.owner_of_point(from_id, target)?;
+        let old = self.kv.remove(&key);
+        let mut parties: BTreeSet<u64> = BTreeSet::new();
+        parties.insert(owner);
+        if let Some(old) = &old {
+            parties.insert(old.owner);
+            parties.extend(old.replicas.iter().copied());
+        }
         let mut pending = HashMap::new();
-        self.queue_service_push(&mut pending, owner, |seq| WireMsg::SvcKvDrop {
-            object: owner,
-            seq,
-            key,
-        });
+        for object in parties {
+            if self.net.coords(voronet_core::ObjectId(object)).is_none() {
+                continue;
+            }
+            self.queue_service_push(&mut pending, object, |seq| WireMsg::SvcKvDrop {
+                object,
+                seq,
+                key,
+            });
+        }
         self.flush_service_pushes(pending)?;
         Ok(OpOutcome::KvDropped {
             key,
             owner,
-            existed,
+            existed: old.is_some(),
         })
     }
 
     /// Issues one `SvcKvFetch` and waits for its token-matched
-    /// `SvcKvValue`, retrying with a fresh token on timeout.
+    /// `SvcKvValue`, retrying with a fresh token per the policy.
     fn fetch_value(&mut self, owner: u64, key: u64) -> Result<Option<u64>, ClusterError> {
         let peer = host_of(owner, self.hosts);
-        for _ in 0..OP_RETRIES {
+        if self.host_dead(peer) {
+            self.fail_fast += 1;
+            return Err(ClusterError::Unavailable("kv fetch"));
+        }
+        let deadline = Instant::now() + self.policy.budget;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                self.retries += 1;
+            }
             let token = self.fresh_token();
             let mut frame = Vec::new();
             WireMsg::SvcKvFetch {
@@ -814,30 +1529,87 @@ impl<T: Transport> Driver<T> {
             .encode(DRIVER_PEER, peer, &mut frame)
             .expect("kv fetch is tiny");
             self.t.send(peer, &frame)?;
-            let start = Instant::now();
-            let mut buf = Vec::new();
-            while start.elapsed() < OP_TIMEOUT {
-                match self.t.recv_into(&mut buf)? {
-                    Some(_) => {
-                        if let Ok((_, WireMsg::SvcKvValue { token: t, value })) =
-                            WireMsg::decode(&buf)
-                        {
-                            if t == token {
-                                return Ok(value);
-                            }
+            let timeout = self.attempt_timeout(attempt);
+            let got =
+                self.await_reply(
+                    peer,
+                    timeout,
+                    deadline,
+                    &mut |_, frame| match WireMsg::decode(frame) {
+                        Ok((_, WireMsg::SvcKvValue { token: t, value })) if t == token => {
+                            Some(value)
                         }
-                    }
-                    None => self.t.poll()?,
-                }
+                        _ => None,
+                    },
+                )?;
+            if let Some(value) = got {
+                return Ok(value);
+            }
+            if self.host_dead(peer) || Instant::now() > deadline {
+                break;
             }
         }
-        Err(ClusterError::Timeout("kv fetch"))
+        if self.host_dead(peer) {
+            self.fail_fast += 1;
+            Err(ClusterError::Unavailable("kv fetch"))
+        } else {
+            Err(ClusterError::Timeout("kv fetch"))
+        }
     }
 
-    /// Recomputes every KV entry's owning cell against the authoritative
-    /// tessellation after churn and migrates entries whose owner changed:
-    /// the value is re-stored at the new owner's host and dropped from
-    /// the old one's (handoff).  Ties break towards the lower id, the
+    /// Issues one `SvcKvFetchReplica` and waits for its token-matched
+    /// `SvcKvReplicaValue`: `Ok(Some((value, entry_seq)))` when the
+    /// replica holds a copy.  Capped at two attempts — a degraded read
+    /// tries the next replica instead of burning the full budget here.
+    fn fetch_replica(&mut self, object: u64, key: u64) -> Result<Option<(u64, u64)>, ClusterError> {
+        let peer = host_of(object, self.hosts);
+        if self.host_dead(peer) {
+            return Err(ClusterError::Unavailable("kv replica fetch"));
+        }
+        let deadline = Instant::now() + self.policy.budget;
+        for attempt in 0..self.policy.attempts.clamp(1, 2) {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let token = self.fresh_token();
+            let mut frame = Vec::new();
+            WireMsg::SvcKvFetchReplica { token, object, key }
+                .encode(DRIVER_PEER, peer, &mut frame)
+                .expect("replica fetch is tiny");
+            self.t.send(peer, &frame)?;
+            let timeout = self.attempt_timeout(attempt);
+            let got =
+                self.await_reply(
+                    peer,
+                    timeout,
+                    deadline,
+                    &mut |_, frame| match WireMsg::decode(frame) {
+                        Ok((
+                            _,
+                            WireMsg::SvcKvReplicaValue {
+                                token: t,
+                                entry_seq,
+                                value,
+                            },
+                        )) if t == token => Some(value.map(|v| (v, entry_seq))),
+                        _ => None,
+                    },
+                )?;
+            if let Some(answer) = got {
+                return Ok(answer);
+            }
+            if self.host_dead(peer) || Instant::now() > deadline {
+                break;
+            }
+        }
+        Err(ClusterError::Timeout("kv replica fetch"))
+    }
+
+    /// Recomputes every KV entry's owning cell and replica set against
+    /// the authoritative tessellation after churn and migrates entries
+    /// whose layout changed: the value is re-stored at the new owner's
+    /// host, mirrored to the new replicas, and dropped from former
+    /// roles (handoff).  Owner ties break towards the lower id, the
     /// exact rule of the single-process `ServiceEngine`.
     fn rebalance_kv(&mut self) -> Result<(), ClusterError> {
         if self.kv.is_empty() && self.subs.is_empty() {
@@ -856,7 +1628,7 @@ impl<T: Transport> Driver<T> {
             .ids()
             .map(|id| (id.0, self.net.coords(id).expect("live")))
             .collect();
-        let mut moves: Vec<(u64, u64, u64, u64)> = Vec::new(); // (key, value, old, new)
+        let mut moves: Vec<(u64, KvPlacement, Vec<u64>)> = Vec::new(); // (key, new placement, previous roles)
         for (&key, placement) in &self.kv {
             let kp = key_point(key, domain);
             let new_owner = live
@@ -865,31 +1637,29 @@ impl<T: Transport> Driver<T> {
                 .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
                 .expect("non-empty overlay")
                 .1;
-            if new_owner != placement.owner {
-                moves.push((key, placement.value, placement.owner, new_owner));
+            let new_replicas = self.replicas_of(new_owner);
+            if new_owner != placement.owner || new_replicas != placement.replicas {
+                let mut previous = vec![placement.owner];
+                previous.extend(placement.replicas.iter().copied());
+                moves.push((
+                    key,
+                    KvPlacement {
+                        value: placement.value,
+                        owner: new_owner,
+                        entry_seq: placement.entry_seq,
+                        replicas: new_replicas,
+                    },
+                    previous,
+                ));
             }
         }
         if moves.is_empty() {
             return Ok(());
         }
         let mut pending = HashMap::new();
-        for &(key, value, old, new) in &moves {
-            self.kv.insert(key, KvPlacement { value, owner: new });
-            self.queue_service_push(&mut pending, new, |seq| WireMsg::SvcKvStore {
-                object: new,
-                seq,
-                key,
-                value,
-            });
-            // A departed owner's host already dropped the entry when the
-            // object was evicted; only live former owners need the drop.
-            if self.net.coords(voronet_core::ObjectId(old)).is_some() {
-                self.queue_service_push(&mut pending, old, |seq| WireMsg::SvcKvDrop {
-                    object: old,
-                    seq,
-                    key,
-                });
-            }
+        for (key, placement, previous) in moves {
+            self.queue_kv_layout(&mut pending, key, &placement, &previous);
+            self.kv.insert(key, placement);
         }
         self.flush_service_pushes(pending)
     }
@@ -916,37 +1686,43 @@ impl<T: Transport> Driver<T> {
         }
     }
 
-    /// Collects every host's stats snapshot.
+    /// Collects every host's stats snapshot.  Fails fast with
+    /// [`ClusterError::Unavailable`] when a host is dead — heal and
+    /// heartbeat first to audit a post-chaos cluster.
     pub fn collect_stats(&mut self) -> Result<Vec<HostReport>, ClusterError> {
         let mut reports = Vec::new();
         for peer in 1..=self.hosts {
+            if self.host_dead(peer) {
+                self.fail_fast += 1;
+                return Err(ClusterError::Unavailable("host stats"));
+            }
             let mut frame = Vec::new();
             WireMsg::StatsReq
                 .encode(DRIVER_PEER, peer, &mut frame)
                 .expect("stats request is tiny");
+            let deadline = Instant::now() + self.policy.budget;
             let mut got = None;
-            'attempts: for _ in 0..OP_RETRIES {
+            for attempt in 0..self.policy.attempts.max(1) {
+                if attempt > 0 {
+                    self.retries += 1;
+                }
                 self.t.send(peer, &frame)?;
-                let start = Instant::now();
-                let mut buf = Vec::new();
-                while start.elapsed() < OP_TIMEOUT {
-                    match self.t.recv_into(&mut buf)? {
-                        Some(from) => {
-                            if from == peer {
-                                if let Ok((_, WireMsg::StatsReply { stats, ops_served })) =
-                                    WireMsg::decode(&buf)
-                                {
-                                    got = Some(HostReport {
-                                        peer,
-                                        stats,
-                                        ops_served,
-                                    });
-                                    break 'attempts;
-                                }
-                            }
-                        }
-                        None => self.t.poll()?,
+                let timeout = self.attempt_timeout(attempt);
+                got = self.await_reply(peer, timeout, deadline, &mut |from, frame| {
+                    if from != peer {
+                        return None;
                     }
+                    match WireMsg::decode(frame) {
+                        Ok((_, WireMsg::StatsReply { stats, ops_served })) => Some(HostReport {
+                            peer,
+                            stats,
+                            ops_served,
+                        }),
+                        _ => None,
+                    }
+                })?;
+                if got.is_some() || self.host_dead(peer) || Instant::now() > deadline {
+                    break;
                 }
             }
             reports.push(got.ok_or(ClusterError::Timeout("host stats"))?);
@@ -1050,7 +1826,9 @@ pub struct HostNode<T: Transport> {
     subs: HashMap<u64, Rect>,
     seen: HashMap<(u64, [u64; 4]), u64>,
     kv: HashMap<(u64, u64), u64>,
+    kv_replicas: HashMap<(u64, u64), (u64, u64)>,
     svc_applied: HashMap<u64, u64>,
+    kv_applied: HashMap<(u64, u64), u64>,
     deliveries: u64,
     duplicates: u64,
     ops_served: u64,
@@ -1070,7 +1848,9 @@ impl<T: Transport> HostNode<T> {
             subs: HashMap::new(),
             seen: HashMap::new(),
             kv: HashMap::new(),
+            kv_replicas: HashMap::new(),
             svc_applied: HashMap::new(),
+            kv_applied: HashMap::new(),
             deliveries: 0,
             duplicates: 0,
             ops_served: 0,
@@ -1096,6 +1876,12 @@ impl<T: Transport> HostNode<T> {
     /// KV entries currently stored here on behalf of hosted owners.
     pub fn kv_entries(&self) -> usize {
         self.kv.len()
+    }
+
+    /// Replica copies currently mirrored here on behalf of hosted
+    /// Voronoi neighbours of entry owners.
+    pub fn kv_replica_entries(&self) -> usize {
+        self.kv_replicas.len()
     }
 
     /// Protocol operations served so far.
@@ -1244,6 +2030,8 @@ impl<T: Transport> HostNode<T> {
                 self.subs.remove(&object);
                 self.seen.retain(|&(o, _), _| o != object);
                 self.kv.retain(|&(o, _), _| o != object);
+                self.kv_replicas.retain(|&(o, _), _| o != object);
+                self.kv_applied.retain(|&(o, _), _| o != object);
                 self.reply(header.from, WireMsg::EvictAck { object, seq })?;
             }
             WireMsg::RouteReq {
@@ -1402,16 +2190,34 @@ impl<T: Transport> HostNode<T> {
                 key,
                 value,
             } => {
-                if self.fresh_service_push(object, seq) {
+                if self.fresh_kv_push(object, key, seq) {
                     self.ops_served += 1;
                     self.kv.insert((object, key), value);
+                    // An object holds one role per key: owning an entry
+                    // supersedes mirroring it.
+                    self.kv_replicas.remove(&(object, key));
+                }
+                self.reply(header.from, WireMsg::SvcAck { object, seq })?;
+            }
+            WireMsg::SvcKvReplicate {
+                object,
+                seq,
+                key,
+                value,
+                entry_seq,
+            } => {
+                if self.fresh_kv_push(object, key, seq) {
+                    self.ops_served += 1;
+                    self.kv_replicas.insert((object, key), (entry_seq, value));
+                    self.kv.remove(&(object, key));
                 }
                 self.reply(header.from, WireMsg::SvcAck { object, seq })?;
             }
             WireMsg::SvcKvDrop { object, seq, key } => {
-                if self.fresh_service_push(object, seq) {
+                if self.fresh_kv_push(object, key, seq) {
                     self.ops_served += 1;
                     self.kv.remove(&(object, key));
+                    self.kv_replicas.remove(&(object, key));
                 }
                 self.reply(header.from, WireMsg::SvcAck { object, seq })?;
             }
@@ -1419,6 +2225,28 @@ impl<T: Transport> HostNode<T> {
                 self.ops_served += 1;
                 let value = self.kv.get(&(object, key)).copied();
                 self.reply(header.from, WireMsg::SvcKvValue { token, value })?;
+            }
+            WireMsg::SvcKvFetchReplica { token, object, key } => {
+                self.ops_served += 1;
+                let (entry_seq, value) = match self.kv_replicas.get(&(object, key)) {
+                    Some(&(entry_seq, value)) => (entry_seq, Some(value)),
+                    None => (0, None),
+                };
+                self.reply(
+                    header.from,
+                    WireMsg::SvcKvReplicaValue {
+                        token,
+                        entry_seq,
+                        value,
+                    },
+                )?;
+            }
+            WireMsg::Ping { reply } => {
+                // The driver's liveness probe: echo it so silence means
+                // the host (or its link) is down, not that it was busy.
+                if !reply {
+                    self.reply(header.from, WireMsg::Ping { reply: true })?;
+                }
             }
             WireMsg::StatsReq => {
                 self.reply(
@@ -1437,11 +2265,11 @@ impl<T: Transport> HostNode<T> {
             | WireMsg::AnswerMatches { .. }
             | WireMsg::StatsReply { .. }
             | WireMsg::SvcKvValue { .. }
+            | WireMsg::SvcKvReplicaValue { .. }
             | WireMsg::SvcAck { .. }
             | WireMsg::Join { .. }
             | WireMsg::NeighborUpdate
             | WireMsg::Leave
-            | WireMsg::Ping { .. }
             | WireMsg::Answer { .. } => {}
         }
         Ok(())
@@ -1451,6 +2279,23 @@ impl<T: Transport> HostNode<T> {
     /// false for duplicates from ack-timeout resends.
     fn fresh_service_push(&mut self, object: u64, seq: u64) -> bool {
         let applied = self.svc_applied.entry(object).or_insert(0);
+        if seq > *applied {
+            *applied = seq;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Freshness for the KV plane is per `(object, key)`, not per
+    /// object: one rebalance flush may push several *different* keys to
+    /// the same object, and under delay faults those frames can arrive
+    /// reordered.  A per-object high-water mark would reject the
+    /// lower-seq key's push as stale (while still acking it), silently
+    /// losing an acked write; per-entry marks only ever reject true
+    /// duplicates and superseded pushes for that same key.
+    fn fresh_kv_push(&mut self, object: u64, key: u64, seq: u64) -> bool {
+        let applied = self.kv_applied.entry((object, key)).or_insert(0);
         if seq > *applied {
             *applied = seq;
             true
@@ -1990,5 +2835,127 @@ mod tests {
         let peers: BTreeSet<PeerId> = (0..100).map(|id| host_of(id, 7)).collect();
         assert_eq!(peers, (1..=7).collect());
         assert_eq!(host_of(5, 0), 1); // degenerate guard: max(1)
+    }
+
+    #[test]
+    fn crashed_owner_degrades_reads_and_failfasts_ops() {
+        use crate::fault::{FaultyCluster, LinkFaults};
+
+        let mut cluster = FaultyCluster::start(
+            3,
+            VoroNetConfig::new(512).with_seed(12),
+            LinkFaults::default(),
+            77,
+        );
+        cluster.driver().set_retry_policy(RetryPolicy::tight());
+        cluster.driver().set_liveness(Liveness::tight());
+        let points = PointGenerator::new(Distribution::Uniform, 29).take_points(36);
+        for &p in &points {
+            cluster.driver().insert(p).unwrap();
+        }
+
+        let key = 0xFEEDu64;
+        let OpOutcome::KvStored {
+            owner, replicas, ..
+        } = cluster.driver().kv_put(1, key, 91).unwrap()
+        else {
+            panic!("kv_put must store")
+        };
+        assert!(
+            replicas >= 2,
+            "a dense overlay must mirror to >= 2 replicas, got {replicas}"
+        );
+        let OpOutcome::KvFetched {
+            value, degraded, ..
+        } = cluster.driver().kv_get(2, key).unwrap()
+        else {
+            panic!("healthy get must resolve")
+        };
+        assert_eq!(value, Some(91));
+        assert!(!degraded);
+
+        let owner_host = host_of(owner, 3);
+        cluster.ctl().crash(owner_host);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while cluster.driver().host_state(owner_host) != HostState::Dead {
+            assert!(
+                Instant::now() < deadline,
+                "failure detector never declared the crashed host dead"
+            );
+            cluster.driver().heartbeat().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // A query origin whose object lives on a surviving host.
+        let from = (0..cluster.driver().population())
+            .find(|&i| {
+                let id = cluster.driver().net().id_at(i).unwrap().0;
+                host_of(id, 3) != owner_host
+            })
+            .expect("a surviving object exists");
+        let OpOutcome::KvFetched {
+            value,
+            owner: got_owner,
+            degraded,
+            ..
+        } = cluster.driver().kv_get(from, key).unwrap()
+        else {
+            panic!("degraded get must resolve")
+        };
+        assert!(
+            degraded,
+            "a read served while the owner is dead must be flagged degraded"
+        );
+        assert_eq!(value, Some(91), "the acked write must survive the crash");
+        assert_eq!(got_owner, owner);
+
+        // An op that must be served by the dead host fails fast instead of
+        // burning the whole retry budget.
+        let dead_idx = (0..cluster.driver().population())
+            .find(|&i| {
+                let id = cluster.driver().net().id_at(i).unwrap().0;
+                host_of(id, 3) == owner_host
+            })
+            .expect("the dead host serves at least one object");
+        let t0 = Instant::now();
+        let err = cluster.driver().route_indices(dead_idx, from).unwrap_err();
+        assert!(matches!(err, ClusterError::Unavailable(_)), "got {err}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "fail-fast took {:?}",
+            t0.elapsed()
+        );
+
+        let stats = cluster.driver().cluster_stats();
+        assert!(stats.degraded_reads >= 1);
+        assert!(stats.deaths >= 1);
+        assert!(stats.fail_fast >= 1);
+        assert!(stats
+            .hosts
+            .iter()
+            .any(|&(p, s)| p == owner_host && s == HostState::Dead));
+
+        // Restart: the detector notices the revival, the driver regenerates
+        // the host's state, and the healthy read path resumes.
+        cluster.ctl().restart(owner_host);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while cluster.driver().host_state(owner_host) != HostState::Alive {
+            assert!(
+                Instant::now() < deadline,
+                "the revived host never came back alive"
+            );
+            cluster.driver().heartbeat().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let OpOutcome::KvFetched {
+            value, degraded, ..
+        } = cluster.driver().kv_get(3, key).unwrap()
+        else {
+            panic!("post-revival get must resolve")
+        };
+        assert_eq!(value, Some(91));
+        assert!(!degraded, "the healthy path must resume after revival");
+        assert!(cluster.driver().cluster_stats().revivals >= 1);
+        cluster.shutdown().unwrap();
     }
 }

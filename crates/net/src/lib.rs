@@ -21,6 +21,9 @@
 //!   messages through the codec, proving transparency.
 //! * [`cluster`] — a driver + hosts deployment speaking the wire protocol
 //!   over any transport, conformant with the single-process engines.
+//! * [`fault`] — seeded deterministic fault injection
+//!   ([`fault::FaultTransport`] wraps any transport; [`fault::FaultPlan`]
+//!   schedules crashes, restarts and partitions) for chaos testing.
 //!
 //! The `voronet-node` binary (crate `crates/node`) builds on [`cluster`]
 //! to run a live overlay over localhost sockets.
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod frame;
 pub mod tap;
 pub mod tcp;
@@ -37,7 +41,11 @@ pub mod vnet;
 pub mod wire;
 
 pub use cluster::{
-    host_of, ClusterError, Driver, HostNode, HostReport, LocalCluster, OpOutcome, DRIVER_PEER,
+    host_of, ClusterError, ClusterStats, Driver, HostNode, HostReport, HostState, Liveness,
+    LocalCluster, OpOutcome, RetryPolicy, DRIVER_PEER,
+};
+pub use fault::{
+    FaultCtl, FaultEvent, FaultPlan, FaultStats, FaultTransport, FaultyCluster, LinkFaults,
 };
 pub use frame::{DecodeError, FrameHeader, HEADER_LEN, MAGIC, MAX_FRAME_LEN, WIRE_VERSION};
 pub use tap::CodecTap;

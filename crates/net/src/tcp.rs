@@ -439,4 +439,45 @@ mod tests {
         }
         assert!(a.stats().reconnects >= 1, "{:?}", a.stats());
     }
+
+    #[test]
+    fn write_failure_reconnects_once_then_counts_loss() {
+        let mut a = TcpTransport::bind(1, "127.0.0.1:0").unwrap();
+        let mut b = TcpTransport::bind(2, "127.0.0.1:0").unwrap();
+        a.register(2, &b.local_addr().unwrap().to_string()).unwrap();
+
+        let mut frame = Vec::new();
+        WireMsg::Ping { reply: false }
+            .encode(1, 2, &mut frame)
+            .unwrap();
+        a.send(2, &frame).unwrap();
+        assert!(recv_one(&mut b, Duration::from_secs(5)).is_some());
+        assert_eq!(a.stats().reconnects, 0);
+        drop(b); // the peer dies for good: nothing listens there any more
+
+        // Until the kernel reports the dead connection, writes may still
+        // land in the socket buffer; once it does, each send must attempt
+        // exactly one reconnect (refused) and count the frame as loss —
+        // never surface an error, never retry beyond that one reconnect.
+        let start = Instant::now();
+        let mut sends = 1u64;
+        while a.stats().dropped_loss == 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "the dead connection never failed a write: {:?}",
+                a.stats()
+            );
+            a.send(2, &frame).unwrap();
+            sends += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = a.stats();
+        assert!(stats.dropped_loss >= 1, "{stats:?}");
+        assert!(stats.reconnects >= 1, "{stats:?}");
+        assert!(
+            stats.reconnects <= sends,
+            "more than one reconnect per failed send: {stats:?}"
+        );
+        assert_eq!(stats.frames_sent, sends);
+    }
 }

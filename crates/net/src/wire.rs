@@ -457,12 +457,47 @@ pub enum WireMsg<'a> {
         value: Option<u64>,
     },
     /// Acknowledges one service push (`SvcSubscribe`/`SvcUnsubscribe`/
-    /// `SvcDeliver`/`SvcKvStore`/`SvcKvDrop`).
+    /// `SvcDeliver`/`SvcKvStore`/`SvcKvDrop`/`SvcKvReplicate`).
     SvcAck {
         /// Acknowledged object.
         object: u64,
         /// Acknowledged service push sequence number.
         seq: u64,
+    },
+    /// Stores one KV entry's *replica copy* at the host of a Voronoi
+    /// neighbour of the owning object, stamped with the entry's write
+    /// sequence number so degraded reads can judge freshness.
+    SvcKvReplicate {
+        /// The replica-holding object (a Voronoi neighbour of the owner).
+        object: u64,
+        /// Monotonic per-object service push sequence number.
+        seq: u64,
+        /// The entry's key.
+        key: u64,
+        /// The entry's value.
+        value: u64,
+        /// The write's global sequence number (freshness stamp).
+        entry_seq: u64,
+    },
+    /// Asks the host of `object` for the replica copy it stores under
+    /// `key` (answered by `SvcKvReplicaValue`); issued when the owning
+    /// object's host is suspected or dead.
+    SvcKvFetchReplica {
+        /// Result-correlation token (fresh per attempt).
+        token: u64,
+        /// The replica-holding object to read from.
+        object: u64,
+        /// The queried key.
+        key: u64,
+    },
+    /// Answer to a `SvcKvFetchReplica`.
+    SvcKvReplicaValue {
+        /// Token of the answered fetch.
+        token: u64,
+        /// Freshness stamp of the replica copy (0 when absent).
+        entry_seq: u64,
+        /// The stored value, `None` when the host holds no replica.
+        value: Option<u64>,
     },
     /// Asks a peer for its stats.
     StatsReq,
@@ -506,6 +541,9 @@ const KIND_SVC_KV_DROP: u8 = 25;
 const KIND_SVC_KV_FETCH: u8 = 26;
 const KIND_SVC_KV_VALUE: u8 = 27;
 const KIND_SVC_ACK: u8 = 28;
+const KIND_SVC_KV_REPLICATE: u8 = 29;
+const KIND_SVC_KV_FETCH_REPLICA: u8 = 30;
+const KIND_SVC_KV_REPLICA_VALUE: u8 = 31;
 
 const PURPOSE_JOIN: u8 = 0;
 const PURPOSE_QUERY: u8 = 1;
@@ -563,6 +601,9 @@ impl<'a> WireMsg<'a> {
             WireMsg::SvcKvFetch { .. } => KIND_SVC_KV_FETCH,
             WireMsg::SvcKvValue { .. } => KIND_SVC_KV_VALUE,
             WireMsg::SvcAck { .. } => KIND_SVC_ACK,
+            WireMsg::SvcKvReplicate { .. } => KIND_SVC_KV_REPLICATE,
+            WireMsg::SvcKvFetchReplica { .. } => KIND_SVC_KV_FETCH_REPLICA,
+            WireMsg::SvcKvReplicaValue { .. } => KIND_SVC_KV_REPLICA_VALUE,
             WireMsg::StatsReq => KIND_STATS_REQ,
             WireMsg::StatsReply { .. } => KIND_STATS_REPLY,
             WireMsg::Shutdown => KIND_SHUTDOWN,
@@ -776,6 +817,39 @@ impl<'a> WireMsg<'a> {
             }
             WireMsg::SvcKvValue { token, value } => {
                 put_u64(buf, token);
+                match value {
+                    Some(v) => {
+                        buf.push(1);
+                        put_u64(buf, v);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            WireMsg::SvcKvReplicate {
+                object,
+                seq,
+                key,
+                value,
+                entry_seq,
+            } => {
+                put_u64(buf, object);
+                put_u64(buf, seq);
+                put_u64(buf, key);
+                put_u64(buf, value);
+                put_u64(buf, entry_seq);
+            }
+            WireMsg::SvcKvFetchReplica { token, object, key } => {
+                put_u64(buf, token);
+                put_u64(buf, object);
+                put_u64(buf, key);
+            }
+            WireMsg::SvcKvReplicaValue {
+                token,
+                entry_seq,
+                value,
+            } => {
+                put_u64(buf, token);
+                put_u64(buf, entry_seq);
                 match value {
                     Some(v) => {
                         buf.push(1);
@@ -1017,6 +1091,32 @@ impl<'a> WireMsg<'a> {
             KIND_SVC_ACK => WireMsg::SvcAck {
                 object: r.u64()?,
                 seq: r.u64()?,
+            },
+            KIND_SVC_KV_REPLICATE => WireMsg::SvcKvReplicate {
+                object: r.u64()?,
+                seq: r.u64()?,
+                key: r.u64()?,
+                value: r.u64()?,
+                entry_seq: r.u64()?,
+            },
+            KIND_SVC_KV_FETCH_REPLICA => WireMsg::SvcKvFetchReplica {
+                token: r.u64()?,
+                object: r.u64()?,
+                key: r.u64()?,
+            },
+            KIND_SVC_KV_REPLICA_VALUE => WireMsg::SvcKvReplicaValue {
+                token: r.u64()?,
+                entry_seq: r.u64()?,
+                value: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    value => {
+                        return Err(DecodeError::BadTag {
+                            field: "kv replica value presence",
+                            value,
+                        })
+                    }
+                },
             },
             KIND_STATS_REQ => WireMsg::StatsReq,
             KIND_STATS_REPLY => WireMsg::StatsReply {
@@ -1286,6 +1386,28 @@ mod tests {
                 value: None,
             },
             WireMsg::SvcAck { object: 8, seq: 7 },
+            WireMsg::SvcKvReplicate {
+                object: 9,
+                seq: 8,
+                key: 123,
+                value: 456,
+                entry_seq: 77,
+            },
+            WireMsg::SvcKvFetchReplica {
+                token: 16,
+                object: 9,
+                key: 123,
+            },
+            WireMsg::SvcKvReplicaValue {
+                token: 16,
+                entry_seq: 77,
+                value: Some(456),
+            },
+            WireMsg::SvcKvReplicaValue {
+                token: 17,
+                entry_seq: 0,
+                value: None,
+            },
             WireMsg::StatsReq,
             WireMsg::StatsReply {
                 stats: TransportStats {

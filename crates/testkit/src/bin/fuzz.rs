@@ -4,12 +4,19 @@
 //! ```text
 //! fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N]
 //!      [--services] [--out DIR] [--replay FILE]... [--no-replay-dir]
-//!      [--dump-ops FILE] [--demo-fault] [--codec]
+//!      [--dump-ops FILE] [--demo-fault] [--codec] [--chaos]
 //! ```
 //!
 //! `--services` biases case generation towards service segments (region
 //! pub/sub and coordinate-keyed KV) — the CI `services-smoke` step runs
 //! with it; service traffic appears in every case regardless.
+//!
+//! `--chaos` runs the chaos pass instead of differential fuzzing: it
+//! replays every committed chaos reproducer under `tests/chaos/` (a
+//! reproducer that fails its audit fails the run), then executes seeded
+//! crash/partition timelines against the fault-injected cluster; a
+//! failing timeline is ddmin-shrunk and written to `tests/chaos/`.  The
+//! CI `chaos-smoke` step runs it under `VORONET_SMOKE=1`.
 //!
 //! `--codec` runs the standalone wire-codec property pass
 //! ([`voronet_testkit::run_codec_pass`]) instead of differential
@@ -35,8 +42,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use voronet_testkit::{
-    generate_case, list_reproducers, read_reproducer, run_case, shrink_case, write_reproducer,
-    Fault, FuzzSpec,
+    generate_case, generate_chaos, list_reproducers, read_chaos_reproducer, read_reproducer,
+    run_case, run_chaos, shrink_case, shrink_chaos, write_chaos_reproducer, write_reproducer,
+    ChaosSpec, Fault, FuzzSpec,
 };
 
 struct Args {
@@ -51,6 +59,7 @@ struct Args {
     dump_ops: Option<PathBuf>,
     demo_fault: bool,
     codec: bool,
+    chaos: bool,
     services: bool,
 }
 
@@ -67,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         dump_ops: None,
         demo_fault: false,
         codec: false,
+        chaos: false,
         services: false,
     };
     let mut it = std::env::args().skip(1);
@@ -100,12 +110,13 @@ fn parse_args() -> Result<Args, String> {
             "--dump-ops" => args.dump_ops = Some(PathBuf::from(value("--dump-ops")?)),
             "--demo-fault" => args.demo_fault = true,
             "--codec" => args.codec = true,
+            "--chaos" => args.chaos = true,
             "--services" => args.services = true,
             "--help" | "-h" => {
                 println!(
                     "fuzz [--seed S] [--cases N] [--ops N] [--warmup N] [--threads N] \
                      [--services] [--out DIR] [--replay FILE]... [--no-replay-dir] \
-                     [--dump-ops FILE] [--demo-fault] [--codec]"
+                     [--dump-ops FILE] [--demo-fault] [--codec] [--chaos]"
                 );
                 std::process::exit(0);
             }
@@ -135,6 +146,86 @@ fn dump_resolved_ops(case: &voronet_testkit::FuzzCase, path: &PathBuf) -> std::i
     std::fs::write(path, text)
 }
 
+/// The `--chaos` pass: replay committed chaos reproducers, then run
+/// seeded crash/partition timelines; shrink and persist any failure.
+fn run_chaos_pass(args: &Args) -> ExitCode {
+    let dir = PathBuf::from("tests/chaos");
+    let mut failures = 0usize;
+    for path in list_reproducers(&dir) {
+        match read_chaos_reproducer(&path) {
+            Err(e) => {
+                eprintln!("fuzz: {}: {e}", path.display());
+                failures += 1;
+            }
+            Ok(case) => match run_chaos(&case) {
+                Ok(report) => println!(
+                    "chaos replay {} … clean ({} ops, {} faults, {} degraded reads, \
+                     {} fail-fasts)",
+                    path.display(),
+                    report.ops_run,
+                    report.faults_fired,
+                    report.degraded_reads,
+                    report.fail_fast
+                ),
+                Err(f) => {
+                    eprintln!(
+                        "fuzz: chaos reproducer {} STILL FAILS: {f}\n      fix the bug (or \
+                         remove the file once obsolete) to unblock CI",
+                        path.display()
+                    );
+                    failures += 1;
+                }
+            },
+        }
+    }
+    if failures > 0 {
+        return ExitCode::FAILURE;
+    }
+    let cases = if smoke() { 3 } else { args.cases.max(8) } as u64;
+    let started = std::time::Instant::now();
+    for i in 0..cases {
+        let spec = ChaosSpec::smoke(args.seed + i);
+        let case = generate_chaos(&spec);
+        match run_chaos(&case) {
+            Ok(report) => println!(
+                "chaos seed {} … clean ({} ops, {} faults, {} degraded reads, {} fail-fasts)",
+                spec.seed,
+                report.ops_run,
+                report.faults_fired,
+                report.degraded_reads,
+                report.fail_fast
+            ),
+            Err(failure) => {
+                eprintln!("chaos seed {}: FAILURE {failure}", spec.seed);
+                eprintln!("chaos seed {}: shrinking …", spec.seed);
+                let outcome = shrink_chaos(&case, 200);
+                eprintln!(
+                    "chaos seed {}: shrunk {} → {} steps in {} executions: {}",
+                    spec.seed,
+                    case.steps.len(),
+                    outcome.case.steps.len(),
+                    outcome.executions,
+                    outcome.failure
+                );
+                match write_chaos_reproducer(&dir, &outcome.case, Some(&outcome.failure)) {
+                    Ok(path) => eprintln!(
+                        "chaos seed {}: reproducer written to {}",
+                        spec.seed,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("chaos seed {}: cannot write reproducer: {e}", spec.seed),
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "chaos: {cases} cases, no failure ({:.1?})",
+        started.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -154,6 +245,11 @@ fn main() -> ExitCode {
             args.seed
         );
         return ExitCode::SUCCESS;
+    }
+
+    // ---- chaos pass ---------------------------------------------------
+    if args.chaos {
+        return run_chaos_pass(&args);
     }
 
     let fault = if args.demo_fault {

@@ -86,7 +86,7 @@ pub fn random_frame(rng: &mut StdRng) -> Vec<u8> {
     let mut s1 = Vec::new();
     let mut s2 = Vec::new();
     let mut s3 = Vec::new();
-    let msg = match rng.random_range(0..29u32) {
+    let msg = match rng.random_range(0..32u32) {
         0 => WireMsg::Hello,
         1 => WireMsg::Join {
             position: point(rng),
@@ -234,9 +234,30 @@ pub fn random_frame(rng: &mut StdRng) -> Vec<u8> {
                 None
             },
         },
-        _ => WireMsg::SvcAck {
+        28 => WireMsg::SvcAck {
             object: rng.random(),
             seq: rng.random(),
+        },
+        29 => WireMsg::SvcKvReplicate {
+            object: rng.random(),
+            seq: rng.random(),
+            key: rng.random(),
+            value: rng.random(),
+            entry_seq: rng.random(),
+        },
+        30 => WireMsg::SvcKvFetchReplica {
+            token: rng.random(),
+            object: rng.random(),
+            key: rng.random(),
+        },
+        _ => WireMsg::SvcKvReplicaValue {
+            token: rng.random(),
+            entry_seq: rng.random(),
+            value: if rng.random() {
+                Some(rng.random())
+            } else {
+                None
+            },
         },
     };
     msg.encode(from, to, &mut buf)

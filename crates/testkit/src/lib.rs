@@ -27,7 +27,12 @@
 //!   shrinking) behind the workspace's property tests;
 //! * [`codec`] — property fuzzing of the `voronet-net` wire codec
 //!   (round-trip canonicality, truncation/corruption totality), run by
-//!   the fuzz binary's `--codec` pass.
+//!   the fuzz binary's `--codec` pass;
+//! * [`chaos`] — seeded crash/partition fuzzing of the fault-tolerant
+//!   cluster: replayable timelines of workload ops and fault events,
+//!   a no-acked-write-lost/no-livelock oracle, ddmin shrinking and
+//!   `.ron` reproducers under `tests/chaos/`, run by the fuzz binary's
+//!   `--chaos` pass.
 //!
 //! The `fuzz` binary (`cargo run -p voronet-testkit --bin fuzz`) drives
 //! all of it from the command line; `VORONET_SMOKE=1` selects the
@@ -35,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod codec;
 pub mod frozen;
 pub mod grammar;
@@ -44,6 +50,10 @@ pub mod prop;
 pub mod repro;
 pub mod shrink;
 
+pub use chaos::{
+    generate_chaos, parse_chaos_case, read_chaos_reproducer, run_chaos, shrink_chaos,
+    write_chaos_reproducer, ChaosCase, ChaosFailure, ChaosReport, ChaosSpec, ChaosStep,
+};
 pub use codec::{
     check_corruption, check_roundtrip, check_truncations, random_frame, run_codec_pass,
 };

@@ -50,7 +50,7 @@ impl std::fmt::Display for ReproError {
 
 impl std::error::Error for ReproError {}
 
-fn perr(message: impl Into<String>) -> ReproError {
+pub(crate) fn perr(message: impl Into<String>) -> ReproError {
     ReproError {
         message: message.into(),
     }
@@ -60,7 +60,7 @@ fn perr(message: impl Into<String>) -> ReproError {
 // Encoding
 // ---------------------------------------------------------------------
 
-fn encode_op(op: &WorkloadOp) -> String {
+pub(crate) fn encode_op(op: &WorkloadOp) -> String {
     match *op {
         WorkloadOp::Insert { position } => format!("insert({}, {})", position.x, position.y),
         WorkloadOp::Remove { index } => format!("remove({index})"),
@@ -147,7 +147,7 @@ pub fn encode_case(case: &FuzzCase, divergence: Option<&Divergence>) -> String {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Token {
+pub(crate) enum Token {
     Ident(String),
     Num(String),
     Punct(char),
@@ -163,7 +163,7 @@ impl std::fmt::Display for Token {
     }
 }
 
-fn tokenize(text: &str) -> Result<Vec<Token>, ReproError> {
+pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, ReproError> {
     let mut tokens = Vec::new();
     let mut chars = text.char_indices().peekable();
     while let Some(&(i, c)) = chars.peek() {
@@ -226,17 +226,17 @@ fn tokenize(text: &str) -> Result<Vec<Token>, ReproError> {
     Ok(tokens)
 }
 
-struct Parser {
-    tokens: Vec<Token>,
-    pos: usize,
+pub(crate) struct Parser {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) pos: usize,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&Token> {
+    pub(crate) fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
 
-    fn next(&mut self) -> Result<Token, ReproError> {
+    pub(crate) fn next(&mut self) -> Result<Token, ReproError> {
         let t = self
             .tokens
             .get(self.pos)
@@ -246,21 +246,21 @@ impl Parser {
         Ok(t)
     }
 
-    fn punct(&mut self, want: char) -> Result<(), ReproError> {
+    pub(crate) fn punct(&mut self, want: char) -> Result<(), ReproError> {
         match self.next()? {
             Token::Punct(c) if c == want => Ok(()),
             other => Err(perr(format!("expected {want:?}, found {other}"))),
         }
     }
 
-    fn ident(&mut self) -> Result<String, ReproError> {
+    pub(crate) fn ident(&mut self) -> Result<String, ReproError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
             other => Err(perr(format!("expected identifier, found {other}"))),
         }
     }
 
-    fn key(&mut self, want: &str) -> Result<(), ReproError> {
+    pub(crate) fn key(&mut self, want: &str) -> Result<(), ReproError> {
         let got = self.ident()?;
         if got != want {
             return Err(perr(format!("expected field {want:?}, found {got:?}")));
@@ -268,7 +268,7 @@ impl Parser {
         self.punct(':')
     }
 
-    fn u64(&mut self) -> Result<u64, ReproError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ReproError> {
         match self.next()? {
             Token::Num(s) => s
                 .parse()
@@ -277,11 +277,11 @@ impl Parser {
         }
     }
 
-    fn usize(&mut self) -> Result<usize, ReproError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, ReproError> {
         Ok(self.u64()? as usize)
     }
 
-    fn f64(&mut self) -> Result<f64, ReproError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, ReproError> {
         match self.next()? {
             Token::Num(s) => s.parse().map_err(|e| perr(format!("bad float {s:?}: {e}"))),
             other => Err(perr(format!("expected float, found {other}"))),
@@ -361,7 +361,7 @@ impl Parser {
         Ok(Rect::new(Point2::new(ax, ay), Point2::new(bx, by)))
     }
 
-    fn op(&mut self) -> Result<WorkloadOp, ReproError> {
+    pub(crate) fn op(&mut self) -> Result<WorkloadOp, ReproError> {
         let verb = self.ident()?;
         self.punct('(')?;
         let op = match verb.as_str() {
