@@ -191,6 +191,25 @@ fn fault_modes(c: &mut Criterion) {
         results.push(r);
     }
 
+    // Regression gate for the retry-stall fix: before fast retransmit
+    // the driver sent each request once and waited out the full jittered
+    // attempt timeout, so 10% frame loss pushed the kv_get median from
+    // ~16µs to ~107ms (~6600×).  With retransmit the lossy median must
+    // stay within 100× of healthy (smoke runs are looser — tiny sample
+    // counts make the healthy median itself noisy — and an absolute
+    // low-millisecond median always passes).
+    let healthy = results.iter().find(|r| r.name == "healthy").unwrap();
+    let lossy = results.iter().find(|r| r.name == "loss_10pct").unwrap();
+    let ratio = lossy.get_p50_us / healthy.get_p50_us;
+    let max_ratio = if smoke() { 400.0 } else { 100.0 };
+    assert!(
+        ratio <= max_ratio || lossy.get_p50_us < 2_000.0,
+        "lossy kv_get p50 {:.1}µs is {ratio:.0}× the healthy {:.1}µs — \
+         the fast-retransmit path regressed",
+        lossy.get_p50_us,
+        healthy.get_p50_us
+    );
+
     let mut group = c.benchmark_group("fault_modes");
     group.sample_size(10);
     group.bench_function("healthy_route_pass", |b| {

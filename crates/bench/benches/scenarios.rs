@@ -1,0 +1,449 @@
+//! Heavy-traffic scenario suite: production-shaped traffic replayed
+//! against three engines, with the full latency tail recorded.
+//!
+//! Each [`ScenarioKind`] (Zipf-skewed hotspots, a regional flash crowd,
+//! correlated mass churn, an adversarial near-degenerate geometry
+//! stream) is scripted once per seed and replayed against:
+//!
+//! - **sync** — the live greedy walk over the mutable overlay
+//!   (`VoroNet::route_between_in`);
+//! - **frozen** — the epoch-refreshed parallel read path
+//!   (`FrozenView::route_between_in`, refreshed on writes so routes pay
+//!   only the frozen walk);
+//! - **cluster** — the socketed driver + hosts deployment, routes
+//!   pipelined through `Driver::route_indices_pipelined`, plus one
+//!   lossy-link run of the hotspot scenario.
+//!
+//! Per engine and scenario the route latency p50/p99/p999 (µs), hop
+//! percentiles and — for the cluster — retry/fast-resend/degraded-read
+//! counters land in the `scenarios` section of `BENCH_scenarios.json`.
+//! Smoke mode (`VORONET_SMOKE=1`, the CI `scenario-smoke` gate) shrinks
+//! the sizes, skips the JSON record and *asserts* the SLOs: bounded
+//! p99/p50 tail ratios and absolute sanity ceilings.  Full runs compare
+//! the fresh numbers against the committed baselines (within a generous
+//! factor; set `VORONET_BLESS=1` to re-record past an intended change).
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+use voronet_core::{FrozenView, RouteScratch, VoroNet, VoroNetConfig};
+use voronet_net::{FaultyCluster, LinkFaults, Liveness, RetryPolicy};
+use voronet_stats::{tail_summary, TailSummary};
+use voronet_workloads::{Scenario, ScenarioKind, ScenarioSpec, WorkloadOp};
+
+const SEED: u64 = 0x5CE7A;
+const HOSTS: u64 = 3;
+const PIPELINE_WINDOW: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var_os("VORONET_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn population() -> usize {
+    if smoke() {
+        48
+    } else {
+        256
+    }
+}
+
+fn ops() -> usize {
+    if smoke() {
+        64
+    } else {
+        400
+    }
+}
+
+fn cluster_population() -> usize {
+    if smoke() {
+        24
+    } else {
+        64
+    }
+}
+
+fn cluster_ops() -> usize {
+    if smoke() {
+        40
+    } else {
+        120
+    }
+}
+
+/// One engine's replay of one scenario: the route latency tail, the hop
+/// tail and (for the cluster) the driver's resilience counters.
+struct EngineRun {
+    engine: &'static str,
+    latency_us: TailSummary,
+    hops: TailSummary,
+    routes_ok: usize,
+    routes_lost: usize,
+    counters: Option<ClusterCounters>,
+}
+
+struct ClusterCounters {
+    retries: u64,
+    fast_resends: u64,
+    degraded_reads: u64,
+    fail_fast: u64,
+}
+
+fn summarize(
+    engine: &'static str,
+    lat_us: Vec<f64>,
+    hops: Vec<f64>,
+    lost: usize,
+    counters: Option<ClusterCounters>,
+) -> EngineRun {
+    let routes_ok = lat_us.len();
+    assert!(routes_ok > 0, "{engine}: no route completed");
+    EngineRun {
+        engine,
+        latency_us: tail_summary(&lat_us).expect("non-empty latencies"),
+        hops: tail_summary(&hops).expect("non-empty hops"),
+        routes_ok,
+        routes_lost: lost,
+        counters,
+    }
+}
+
+/// Replays the scenario against the live synchronous walk.
+fn run_sync(sc: &Scenario) -> EngineRun {
+    let mut net = VoroNet::new(VoroNetConfig::new(512).with_seed(SEED));
+    for &p in &sc.setup {
+        let _ = net.insert(p);
+    }
+    let mut scratch = RouteScratch::default();
+    let (mut lat, mut hops) = (Vec::new(), Vec::new());
+    for op in sc.phases.iter().flat_map(|p| &p.ops) {
+        match *op {
+            WorkloadOp::Insert { position } => {
+                let _ = net.insert(position);
+            }
+            WorkloadOp::Remove { index } => {
+                if let Some(id) = net.id_at(index % net.len()) {
+                    let _ = net.remove(id);
+                }
+            }
+            WorkloadOp::Route { from, to } => {
+                let n = net.len();
+                let a = net.id_at(from % n).expect("index below len");
+                let b = net.id_at(to % n).expect("index below len");
+                let t0 = Instant::now();
+                if let Ok((_, h)) = net.route_between_in(a, b, &mut scratch) {
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    hops.push(h as f64);
+                }
+            }
+            _ => {}
+        }
+    }
+    summarize("sync", lat, hops, 0, None)
+}
+
+/// Replays the scenario against the frozen parallel read path: writes
+/// mutate the live overlay and refresh the view (the epoch discipline),
+/// routes pay only the frozen walk.
+fn run_frozen(sc: &Scenario) -> EngineRun {
+    let mut net = VoroNet::new(VoroNetConfig::new(512).with_seed(SEED));
+    for &p in &sc.setup {
+        let _ = net.insert(p);
+    }
+    let mut view = FrozenView::new(&net);
+    let mut dirty = false;
+    let mut scratch = RouteScratch::default();
+    let (mut lat, mut hops) = (Vec::new(), Vec::new());
+    for op in sc.phases.iter().flat_map(|p| &p.ops) {
+        match *op {
+            WorkloadOp::Insert { position } => {
+                let _ = net.insert(position);
+                dirty = true;
+            }
+            WorkloadOp::Remove { index } => {
+                if let Some(id) = net.id_at(index % net.len()) {
+                    let _ = net.remove(id);
+                    dirty = true;
+                }
+            }
+            WorkloadOp::Route { from, to } => {
+                if dirty {
+                    view.refresh(&net);
+                    dirty = false;
+                }
+                let n = net.len();
+                let a = net.id_at(from % n).expect("index below len");
+                let b = net.id_at(to % n).expect("index below len");
+                let t0 = Instant::now();
+                if let Ok((_, h)) = view.route_between_in(a, b, &mut scratch) {
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    hops.push(h as f64);
+                }
+            }
+            _ => {}
+        }
+    }
+    summarize("frozen", lat, hops, 0, None)
+}
+
+/// Replays the scenario against the socketed cluster.  Consecutive
+/// routes travel as one pipelined batch so a single slow operation
+/// cannot head-of-line-block the stream — exactly the production shape
+/// the suite is meant to measure.
+fn run_cluster(sc: &Scenario, engine: &'static str, link: LinkFaults) -> EngineRun {
+    let mut cluster = FaultyCluster::start(
+        HOSTS,
+        VoroNetConfig::new(512).with_seed(SEED),
+        link,
+        SEED ^ engine.len() as u64,
+    );
+    cluster.driver().set_retry_policy(RetryPolicy::tight());
+    cluster.driver().set_liveness(Liveness::tight());
+    for &p in &sc.setup {
+        cluster.driver().insert(p).expect("setup insert");
+    }
+    let (mut lat, mut hops) = (Vec::new(), Vec::new());
+    let mut lost = 0usize;
+    let mut batch: Vec<(usize, usize)> = Vec::new();
+    let flush = |cluster: &mut FaultyCluster,
+                 batch: &mut Vec<(usize, usize)>,
+                 lat: &mut Vec<f64>,
+                 hops: &mut Vec<f64>,
+                 lost: &mut usize| {
+        if batch.is_empty() {
+            return;
+        }
+        let results = cluster
+            .driver()
+            .route_indices_pipelined(batch, PIPELINE_WINDOW)
+            .expect("pipelined batch");
+        for r in results {
+            match r.owner_hops {
+                Some((_, h)) => {
+                    lat.push(r.latency.as_secs_f64() * 1e6);
+                    hops.push(h as f64);
+                }
+                None => *lost += 1,
+            }
+        }
+        batch.clear();
+    };
+    for op in sc.phases.iter().flat_map(|p| &p.ops) {
+        match *op {
+            WorkloadOp::Route { from, to } => batch.push((from, to)),
+            WorkloadOp::Insert { position } => {
+                flush(&mut cluster, &mut batch, &mut lat, &mut hops, &mut lost);
+                cluster.driver().insert(position).expect("insert");
+            }
+            WorkloadOp::Remove { index } => {
+                flush(&mut cluster, &mut batch, &mut lat, &mut hops, &mut lost);
+                cluster.driver().remove_index(index).expect("remove");
+            }
+            _ => {}
+        }
+    }
+    flush(&mut cluster, &mut batch, &mut lat, &mut hops, &mut lost);
+    let stats = cluster.driver().cluster_stats();
+    let counters = ClusterCounters {
+        retries: stats.retries,
+        fast_resends: stats.fast_resends,
+        degraded_reads: stats.degraded_reads,
+        fail_fast: stats.fail_fast,
+    };
+    let _ = cluster.shutdown();
+    summarize(engine, lat, hops, lost, Some(counters))
+}
+
+/// The SLO gates of one engine run.  Generous bounds — they exist to
+/// catch order-of-magnitude pathologies (a reintroduced retry stall, a
+/// quadratic walk), not micro-noise.
+fn assert_slos(kind: ScenarioKind, run: &EngineRun) {
+    let lat = &run.latency_us;
+    let name = kind.name();
+    let engine = run.engine;
+    // Tail shape: the p99 may not run away from the median.  In-process
+    // engines route in microseconds where timer quantisation makes
+    // ratios noisy, so the ratio gate only arms above a 50µs median.
+    if lat.p50 > 50.0 {
+        let k = if engine == "cluster_lossy" {
+            200.0
+        } else {
+            100.0
+        };
+        assert!(
+            lat.p99 <= k * lat.p50,
+            "{name}/{engine}: p99 {:.1}µs > {k}× p50 {:.1}µs",
+            lat.p99,
+            lat.p50
+        );
+    }
+    // Absolute ceilings: a lossy cluster median in the tens of
+    // milliseconds means the fast-retransmit fix regressed (pre-fix it
+    // sat at ~107ms); in-process medians in the milliseconds mean the
+    // walk went pathological.
+    let p50_ceiling_us = match engine {
+        "sync" | "frozen" => 5_000.0,
+        "cluster" => 50_000.0,
+        _ => 100_000.0,
+    };
+    assert!(
+        lat.p50 <= p50_ceiling_us,
+        "{name}/{engine}: route p50 {:.1}µs above the {p50_ceiling_us:.0}µs SLO",
+        lat.p50
+    );
+    // Completeness: pipelined batches may abandon ops under injected
+    // loss, but losing more than half the stream is a routing failure.
+    assert!(
+        run.routes_ok > run.routes_lost,
+        "{name}/{engine}: lost {} of {} routes",
+        run.routes_lost,
+        run.routes_ok + run.routes_lost
+    );
+}
+
+fn fmt_run(run: &EngineRun) -> String {
+    let counters = match &run.counters {
+        Some(c) => format!(
+            ", \"retries\": {}, \"fast_resends\": {}, \"degraded_reads\": {}, \
+             \"fail_fast\": {}",
+            c.retries, c.fast_resends, c.degraded_reads, c.fail_fast
+        ),
+        None => String::new(),
+    };
+    format!(
+        "\"{}\": {{ \"route_p50_us\": {:.1}, \"route_p99_us\": {:.1}, \
+         \"route_p999_us\": {:.1}, \"route_max_us\": {:.1}, \
+         \"hops_p50\": {:.1}, \"hops_p99\": {:.1}, \"hops_max\": {:.0}, \
+         \"routes_ok\": {}, \"routes_lost\": {}{} }}",
+        run.engine,
+        run.latency_us.p50,
+        run.latency_us.p99,
+        run.latency_us.p999,
+        run.latency_us.max,
+        run.hops.p50,
+        run.hops.p99,
+        run.hops.max,
+        run.routes_ok,
+        run.routes_lost,
+        counters
+    )
+}
+
+/// Pulls `scenario.engine.route_p50_us` out of the committed baseline
+/// document with a plain scan (the vendored serde has no JSON parser).
+fn baseline_p50(content: &str, scenario: &str, engine: &str) -> Option<f64> {
+    let at = content.find(&format!("\"{scenario}\""))?;
+    let rest = &content[at..];
+    let at = rest.find(&format!("\"{engine}\""))?;
+    let rest = &rest[at..];
+    let at = rest.find("\"route_p50_us\":")?;
+    let rest = rest[at + "\"route_p50_us\":".len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".+-eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn scenarios(c: &mut Criterion) {
+    let out = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_scenarios.json"
+    ));
+    let baseline = std::fs::read_to_string(out).ok();
+    let bless = std::env::var_os("VORONET_BLESS").is_some_and(|v| v != "0");
+
+    let mut sections = Vec::new();
+    for kind in ScenarioKind::all() {
+        let scenario = Scenario::build(&ScenarioSpec::new(kind, SEED, population(), ops()));
+        let cluster_scenario = Scenario::build(&ScenarioSpec::new(
+            kind,
+            SEED,
+            cluster_population(),
+            cluster_ops(),
+        ));
+        let mut runs = vec![
+            run_sync(&scenario),
+            run_frozen(&scenario),
+            run_cluster(&cluster_scenario, "cluster", LinkFaults::default()),
+        ];
+        if kind == ScenarioKind::ZipfHotspot {
+            // The hotspot stream doubles as the loss-resilience probe:
+            // skewed destinations + 10% frame loss is where the retry
+            // stall used to blow the median up by ~6600×.
+            runs.push(run_cluster(
+                &cluster_scenario,
+                "cluster_lossy",
+                LinkFaults::lossy(0.10),
+            ));
+        }
+        for run in &runs {
+            println!(
+                "scenarios {}/{}: route p50 {:.1}us p99 {:.1}us p999 {:.1}us, \
+                 hops p50 {:.1} ({} ok, {} lost)",
+                kind.name(),
+                run.engine,
+                run.latency_us.p50,
+                run.latency_us.p99,
+                run.latency_us.p999,
+                run.hops.p50,
+                run.routes_ok,
+                run.routes_lost,
+            );
+            assert_slos(kind, run);
+            if let (false, false, Some(doc)) = (smoke(), bless, baseline.as_deref()) {
+                if let Some(old) = baseline_p50(doc, kind.name(), run.engine) {
+                    assert!(
+                        run.latency_us.p50 <= (8.0 * old).max(old + 500.0),
+                        "{}/{}: route p50 {:.1}µs regressed past 8× the committed \
+                         baseline {:.1}µs (VORONET_BLESS=1 re-records)",
+                        kind.name(),
+                        run.engine,
+                        run.latency_us.p50,
+                        old
+                    );
+                }
+            }
+        }
+        let engines: Vec<String> = runs.iter().map(fmt_run).collect();
+        sections.push(format!("\"{}\": {{ {} }}", kind.name(), engines.join(", ")));
+    }
+
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(10);
+    group.bench_function("zipf_hotspot_sync_pass", |b| {
+        let scenario = Scenario::build(&ScenarioSpec::new(
+            ScenarioKind::ZipfHotspot,
+            SEED,
+            cluster_population(),
+            cluster_ops(),
+        ));
+        b.iter(|| black_box(run_sync(&scenario).latency_us.p50));
+    });
+    group.finish();
+
+    if smoke() {
+        println!("smoke mode: SLOs asserted, JSON record skipped");
+        return;
+    }
+    let section = format!(
+        "{{ \"seed\": {SEED}, \"hosts\": {HOSTS}, \"population\": {}, \"ops\": {}, \
+         \"cluster_population\": {}, \"cluster_ops\": {}, \
+         \"pipeline_window\": {PIPELINE_WINDOW}, \"scenarios\": {{ {} }} }}",
+        population(),
+        ops(),
+        cluster_population(),
+        cluster_ops(),
+        sections.join(", ")
+    );
+    match voronet_bench::record::update_json_section(out, "scenarios", &section) {
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+        Ok(()) => println!("recorded scenario results to {}", out.display()),
+    }
+}
+
+criterion_group!(benches, scenarios);
+
+fn main() {
+    benches();
+}

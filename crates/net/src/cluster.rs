@@ -151,6 +151,13 @@ pub struct RetryPolicy {
     pub jitter: f64,
     /// Seed of the jitter stream, so retry timing replays exactly.
     pub seed: u64,
+    /// Fast-retransmit interval *within* an attempt: while waiting for
+    /// an answer the driver re-sends the pending request frame on this
+    /// cadence instead of eating the whole attempt timeout when a single
+    /// frame is lost.  Every request the driver issues is idempotent
+    /// (token-matched answers, stateless route restarts, seq-filtered
+    /// pushes), so a duplicate delivery is harmless.
+    pub resend: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -163,6 +170,7 @@ impl Default for RetryPolicy {
             budget: Duration::from_secs(30),
             jitter: 0.0,
             seed: 0x5EED,
+            resend: Duration::from_millis(25),
         }
     }
 }
@@ -170,6 +178,8 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// A tight policy for chaos runs and tests: small timeouts, small
     /// budget, jittered — fails fast instead of stalling a scenario.
+    /// The retransmit cadence is sub-millisecond, matched to in-process
+    /// transports where a healthy round trip is microseconds.
     pub fn tight() -> Self {
         RetryPolicy {
             base: Duration::from_millis(120),
@@ -179,7 +189,14 @@ impl RetryPolicy {
             budget: Duration::from_secs(3),
             jitter: 0.25,
             seed: 0x5EED,
+            resend: Duration::from_micros(250),
         }
+    }
+
+    /// The fast-retransmit interval floored so a zeroed knob can never
+    /// spin the transport at full speed.
+    fn resend_every(&self) -> Duration {
+        self.resend.max(Duration::from_micros(50))
     }
 }
 
@@ -252,6 +269,10 @@ pub struct ClusterStats {
     pub revivals: u64,
     /// View/service pushes dropped because their target was dead.
     pub skipped_pushes: u64,
+    /// Request frames re-sent by the fast-retransmit timer *within* an
+    /// attempt window (not counted as retries — the attempt ladder never
+    /// advanced).
+    pub fast_resends: u64,
 }
 
 /// Driver-side health record of one host.
@@ -270,6 +291,7 @@ struct HostHealth {
 struct Backoff {
     idle: u32,
     sleep: Duration,
+    ceiling: Duration,
 }
 
 const BACKOFF_SPINS: u32 = 64;
@@ -278,15 +300,24 @@ const BACKOFF_SLEEP_CEIL: Duration = Duration::from_millis(1);
 
 impl Backoff {
     fn new() -> Self {
+        Self::with_ceiling(BACKOFF_SLEEP_CEIL)
+    }
+
+    /// A waiter whose sleeps never exceed `ceiling` — the receive loops
+    /// that run a retransmit timer cap their sleeps below the timer so
+    /// a due resend is never slept past.
+    fn with_ceiling(ceiling: Duration) -> Self {
+        let ceiling = ceiling.max(Duration::from_micros(10));
         Backoff {
             idle: 0,
-            sleep: BACKOFF_SLEEP_FLOOR,
+            sleep: BACKOFF_SLEEP_FLOOR.min(ceiling),
+            ceiling,
         }
     }
 
     fn reset(&mut self) {
         self.idle = 0;
-        self.sleep = BACKOFF_SLEEP_FLOOR;
+        self.sleep = BACKOFF_SLEEP_FLOOR.min(self.ceiling);
     }
 
     fn wait(&mut self) {
@@ -295,7 +326,7 @@ impl Backoff {
             std::thread::yield_now();
         } else {
             std::thread::sleep(self.sleep);
-            self.sleep = (self.sleep * 2).min(BACKOFF_SLEEP_CEIL);
+            self.sleep = (self.sleep * 2).min(self.ceiling);
         }
     }
 }
@@ -469,6 +500,7 @@ pub struct Driver<T: Transport> {
     deaths: u64,
     revivals: u64,
     skipped_pushes: u64,
+    fast_resends: u64,
 }
 
 impl<T: Transport> Driver<T> {
@@ -502,6 +534,7 @@ impl<T: Transport> Driver<T> {
             deaths: 0,
             revivals: 0,
             skipped_pushes: 0,
+            fast_resends: 0,
         }
     }
 
@@ -542,6 +575,7 @@ impl<T: Transport> Driver<T> {
             deaths: self.deaths,
             revivals: self.revivals,
             skipped_pushes: self.skipped_pushes,
+            fast_resends: self.fast_resends,
         }
     }
 
@@ -807,9 +841,19 @@ impl<T: Transport> Driver<T> {
                 None => {
                     self.maybe_ping()?;
                     self.drop_dead_pushes(&mut pending);
-                    if last_resend.elapsed() > ACK_RESEND {
+                    // Resend on the policy's fast-retransmit cadence (but
+                    // never slower than the legacy ACK_RESEND timer) so a
+                    // single dropped push doesn't stall the barrier for a
+                    // whole resend window.
+                    let resend = self
+                        .policy
+                        .resend
+                        .max(Duration::from_millis(2))
+                        .min(ACK_RESEND);
+                    if last_resend.elapsed() > resend {
                         for push in pending.values() {
                             self.t.send(push.peer, &push.frame)?;
+                            self.fast_resends += 1;
                         }
                         last_resend = Instant::now();
                     }
@@ -825,16 +869,28 @@ impl<T: Transport> Driver<T> {
     /// detector and backoff while idle.  Returns `Ok(None)` when the
     /// window closes, `peer` is declared dead, or `deadline` (the op's
     /// budget) passes — the caller decides whether to retry.
+    ///
+    /// While waiting, the pending `request` frame is retransmitted on the
+    /// policy's fast-resend cadence.  Every request handler on the hosts
+    /// is idempotent (answers are token-matched, route restarts are
+    /// stateless, flood coordinators ignore stale tokens), so a duplicate
+    /// costs one frame — while a dropped frame without retransmit used to
+    /// cost the entire attempt timeout (~100ms under the tight policy).
     fn await_reply<R>(
         &mut self,
         peer: PeerId,
+        request: &[u8],
         timeout: Duration,
         deadline: Instant,
         accept: &mut dyn FnMut(PeerId, &[u8]) -> Option<R>,
     ) -> Result<Option<R>, ClusterError> {
         let start = Instant::now();
         let mut buf = Vec::new();
-        let mut backoff = Backoff::new();
+        let resend = self.policy.resend_every();
+        // Cap the idle sleep below the resend cadence so the backoff
+        // never sleeps through a retransmit slot.
+        let mut backoff = Backoff::with_ceiling(resend / 2);
+        let mut last_send = Instant::now();
         while start.elapsed() < timeout {
             match self.recv_noted(&mut buf)? {
                 Some(from) => {
@@ -847,6 +903,11 @@ impl<T: Transport> Driver<T> {
                     self.maybe_ping()?;
                     if self.host_dead(peer) {
                         return Ok(None);
+                    }
+                    if !request.is_empty() && last_send.elapsed() >= resend {
+                        self.t.send(peer, request)?;
+                        self.fast_resends += 1;
+                        last_send = Instant::now();
                     }
                     self.t.poll()?;
                     backoff.wait();
@@ -1006,7 +1067,7 @@ impl<T: Transport> Driver<T> {
             }
             self.t.send(peer, request)?;
             let timeout = self.attempt_timeout(attempt);
-            let got = self.await_reply(peer, timeout, deadline, &mut |_, frame| {
+            let got = self.await_reply(peer, request, timeout, deadline, &mut |_, frame| {
                 match WireMsg::decode(frame) {
                     Ok((
                         _,
@@ -1072,6 +1133,145 @@ impl<T: Transport> Driver<T> {
         .expect("route request is tiny");
         let (_, outcome) = self.request(host_of(from_id, self.hosts), &frame, token, "route")?;
         Ok(outcome)
+    }
+
+    /// Routes a batch of `(from, to)` index pairs with up to `window`
+    /// operations in flight at once, sharing one receive pump.
+    ///
+    /// Unlike issuing [`Self::route_indices`] in a loop — where one
+    /// operation waiting out its attempt timeout head-of-line-blocks
+    /// every operation behind it — each in-flight route here keeps its
+    /// own attempt ladder, fast-resend timer and budget, so a single
+    /// route stalled on a lossy or crashed hop cannot stall the rest of
+    /// the batch.  Results come back in input order; an entry whose
+    /// route never answered within its budget (or whose origin host was
+    /// dead) carries `owner_hops: None` plus the time spent on it.
+    pub fn route_indices_pipelined(
+        &mut self,
+        pairs: &[(usize, usize)],
+        window: usize,
+    ) -> Result<Vec<PipelinedRoute>, ClusterError> {
+        let mut results: Vec<PipelinedRoute> = pairs
+            .iter()
+            .map(|_| PipelinedRoute {
+                owner_hops: None,
+                latency: Duration::ZERO,
+            })
+            .collect();
+        if self.net.is_empty() || pairs.is_empty() {
+            return Ok(results);
+        }
+        self.service_revivals()?;
+        let window = window.max(1);
+        let resend = self.policy.resend_every();
+        let mut backoff = Backoff::with_ceiling(resend / 2);
+        let mut inflight: Vec<InFlightRoute> = Vec::new();
+        let mut next = 0usize;
+        let mut buf = Vec::new();
+        while next < pairs.len() || !inflight.is_empty() {
+            while inflight.len() < window && next < pairs.len() {
+                let slot = next;
+                next += 1;
+                let (from, to) = pairs[slot];
+                let n = self.net.len();
+                let from_id = self.net.id_at(from % n).expect("index below len").0;
+                let to_id = self.net.id_at(to % n).expect("index below len");
+                let target = self.net.coords(to_id).expect("live object");
+                let peer = host_of(from_id, self.hosts);
+                let issued = Instant::now();
+                if self.host_dead(peer) {
+                    self.fail_fast += 1;
+                    results[slot].latency = issued.elapsed();
+                    continue;
+                }
+                let token = self.fresh_token();
+                let mut frame = Vec::new();
+                WireMsg::RouteReq {
+                    token,
+                    from_object: from_id,
+                    target,
+                }
+                .encode(DRIVER_PEER, peer, &mut frame)
+                .expect("route request is tiny");
+                self.t.send(peer, &frame)?;
+                let timeout = self.attempt_timeout(0);
+                inflight.push(InFlightRoute {
+                    slot,
+                    peer,
+                    frame,
+                    token,
+                    attempt: 0,
+                    issued,
+                    attempt_started: issued,
+                    timeout,
+                    deadline: issued + self.policy.budget,
+                    last_send: issued,
+                });
+            }
+            if inflight.is_empty() {
+                continue;
+            }
+            match self.recv_noted(&mut buf)? {
+                Some(_) => {
+                    backoff.reset();
+                    if let Ok((_, WireMsg::AnswerOwner { token, owner, hops })) =
+                        WireMsg::decode(&buf)
+                    {
+                        if let Some(pos) = inflight.iter().position(|op| op.token == token) {
+                            let op = inflight.swap_remove(pos);
+                            results[op.slot] = PipelinedRoute {
+                                owner_hops: Some((owner, hops)),
+                                latency: op.issued.elapsed(),
+                            };
+                        }
+                    }
+                }
+                None => {
+                    self.maybe_ping()?;
+                    let now = Instant::now();
+                    let max_attempts = self.policy.attempts.max(1);
+                    let mut i = 0;
+                    while i < inflight.len() {
+                        if self.host_dead(inflight[i].peer) || now > inflight[i].deadline {
+                            if self.host_dead(inflight[i].peer) {
+                                self.fail_fast += 1;
+                            }
+                            let op = inflight.swap_remove(i);
+                            results[op.slot].latency = op.issued.elapsed();
+                            continue;
+                        }
+                        if now.duration_since(inflight[i].attempt_started) >= inflight[i].timeout {
+                            if inflight[i].attempt + 1 >= max_attempts {
+                                let op = inflight.swap_remove(i);
+                                results[op.slot].latency = op.issued.elapsed();
+                                continue;
+                            }
+                            self.retries += 1;
+                            let timeout = self.attempt_timeout(inflight[i].attempt + 1);
+                            let op = &mut inflight[i];
+                            op.attempt += 1;
+                            op.timeout = timeout;
+                            op.attempt_started = now;
+                            let (peer, frame) = (op.peer, std::mem::take(&mut op.frame));
+                            self.t.send(peer, &frame)?;
+                            inflight[i].frame = frame;
+                            inflight[i].last_send = now;
+                        } else if now.duration_since(inflight[i].last_send) >= resend {
+                            let (peer, frame) =
+                                (inflight[i].peer, std::mem::take(&mut inflight[i].frame));
+                            self.t.send(peer, &frame)?;
+                            self.fast_resends += 1;
+                            inflight[i].frame = frame;
+                            inflight[i].last_send = now;
+                        }
+                        i += 1;
+                    }
+                    self.t.poll()?;
+                    backoff.wait();
+                }
+            }
+        }
+        Ok(results)
     }
 
     /// Executes a distributed rectangular range query issued by the
@@ -1301,11 +1501,24 @@ impl<T: Transport> Driver<T> {
             .map(|(_, id)| id)
     }
 
+    /// True when every host is currently `Alive` per the failure
+    /// detector — the precondition for a distributed route to complete
+    /// without burning its retry budget on a dead hop.
+    fn all_hosts_alive(&self) -> bool {
+        (1..=self.hosts).all(|peer| matches!(self.host_state(peer), HostState::Alive))
+    }
+
     /// Locates the owner of a point: the distributed greedy route
-    /// decides on the healthy path; when the route cannot complete
-    /// because hosts on it are dead, the authoritative tessellation
-    /// decides instead (the same owner the healthy route converges to).
+    /// decides on the healthy path; when any host is suspected or dead,
+    /// the authoritative tessellation decides directly (the same owner
+    /// the healthy route converges to) instead of letting the route burn
+    /// its full retry ladder on a hop through the dead host first.
     fn owner_of_point(&mut self, from_id: u64, target: Point2) -> Result<u64, ClusterError> {
+        if !self.all_hosts_alive() {
+            return self
+                .local_owner_of(target)
+                .ok_or(ClusterError::Unavailable("kv owner"));
+        }
         match self.route_point_from(from_id, target) {
             Ok((owner, _)) => Ok(owner),
             Err(ClusterError::Timeout(_) | ClusterError::Unavailable(_)) => self
@@ -1530,18 +1743,12 @@ impl<T: Transport> Driver<T> {
             .expect("kv fetch is tiny");
             self.t.send(peer, &frame)?;
             let timeout = self.attempt_timeout(attempt);
-            let got =
-                self.await_reply(
-                    peer,
-                    timeout,
-                    deadline,
-                    &mut |_, frame| match WireMsg::decode(frame) {
-                        Ok((_, WireMsg::SvcKvValue { token: t, value })) if t == token => {
-                            Some(value)
-                        }
-                        _ => None,
-                    },
-                )?;
+            let got = self.await_reply(peer, &frame, timeout, deadline, &mut |_, frame| {
+                match WireMsg::decode(frame) {
+                    Ok((_, WireMsg::SvcKvValue { token: t, value })) if t == token => Some(value),
+                    _ => None,
+                }
+            })?;
             if let Some(value) = got {
                 return Ok(value);
             }
@@ -1578,23 +1785,19 @@ impl<T: Transport> Driver<T> {
                 .expect("replica fetch is tiny");
             self.t.send(peer, &frame)?;
             let timeout = self.attempt_timeout(attempt);
-            let got =
-                self.await_reply(
-                    peer,
-                    timeout,
-                    deadline,
-                    &mut |_, frame| match WireMsg::decode(frame) {
-                        Ok((
-                            _,
-                            WireMsg::SvcKvReplicaValue {
-                                token: t,
-                                entry_seq,
-                                value,
-                            },
-                        )) if t == token => Some(value.map(|v| (v, entry_seq))),
-                        _ => None,
-                    },
-                )?;
+            let got = self.await_reply(peer, &frame, timeout, deadline, &mut |_, frame| {
+                match WireMsg::decode(frame) {
+                    Ok((
+                        _,
+                        WireMsg::SvcKvReplicaValue {
+                            token: t,
+                            entry_seq,
+                            value,
+                        },
+                    )) if t == token => Some(value.map(|v| (v, entry_seq))),
+                    _ => None,
+                }
+            })?;
             if let Some(answer) = got {
                 return Ok(answer);
             }
@@ -1708,7 +1911,7 @@ impl<T: Transport> Driver<T> {
                 }
                 self.t.send(peer, &frame)?;
                 let timeout = self.attempt_timeout(attempt);
-                got = self.await_reply(peer, timeout, deadline, &mut |from, frame| {
+                got = self.await_reply(peer, &frame, timeout, deadline, &mut |from, frame| {
                     if from != peer {
                         return None;
                     }
@@ -1745,6 +1948,31 @@ impl<T: Transport> Driver<T> {
         }
         Ok(())
     }
+}
+
+/// One completed route of a [`Driver::route_indices_pipelined`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinedRoute {
+    /// `Some((owner, hops))` when the route answered within its budget;
+    /// `None` when it timed out or its origin host was dead.
+    pub owner_hops: Option<(u64, u32)>,
+    /// Wall-clock time from issuing the operation to its completion (or
+    /// abandonment).
+    pub latency: Duration,
+}
+
+/// Driver-side state of one in-flight pipelined route.
+struct InFlightRoute {
+    slot: usize,
+    peer: PeerId,
+    frame: Vec<u8>,
+    token: u64,
+    attempt: u32,
+    issued: Instant,
+    attempt_started: Instant,
+    timeout: Duration,
+    deadline: Instant,
+    last_send: Instant,
 }
 
 // ---------------------------------------------------------------------
@@ -2956,6 +3184,157 @@ mod tests {
         assert_eq!(value, Some(91));
         assert!(!degraded, "the healthy path must resume after revival");
         assert!(cluster.driver().cluster_stats().revivals >= 1);
+        cluster.shutdown().unwrap();
+    }
+
+    /// Regression: under 10% frame loss the driver used to send each
+    /// request once and then passively wait out the full jittered
+    /// attempt timeout (~105ms under the tight policy), so the kv_get
+    /// p50 jumped from ~16µs healthy to ~107ms lossy.  Fast retransmit
+    /// inside the wait keeps lossy medians in the low-millisecond range.
+    #[test]
+    fn lossy_kv_gets_stay_fast_thanks_to_fast_retransmit() {
+        use crate::fault::{FaultyCluster, LinkFaults};
+
+        let mut cluster = FaultyCluster::start(
+            3,
+            VoroNetConfig::new(512).with_seed(31),
+            LinkFaults::lossy(0.10),
+            4242,
+        );
+        cluster.driver().set_retry_policy(RetryPolicy::tight());
+        cluster.driver().set_liveness(Liveness::tight());
+        let points = PointGenerator::new(Distribution::Uniform, 37).take_points(36);
+        for &p in &points {
+            cluster.driver().insert(p).unwrap();
+        }
+        for key in 0..8u64 {
+            cluster.driver().kv_put(key as usize, key, key * 7).unwrap();
+        }
+
+        let mut lat = Vec::new();
+        for i in 0..30usize {
+            let key = (i % 8) as u64;
+            let t0 = Instant::now();
+            let got = cluster.driver().kv_get(i, key).unwrap();
+            lat.push(t0.elapsed());
+            assert!(
+                matches!(got, OpOutcome::KvFetched { value: Some(v), .. } if v == key * 7),
+                "lossy kv_get {i} returned {got:?}"
+            );
+        }
+        lat.sort();
+        let p50 = lat[lat.len() / 2];
+        assert!(
+            p50 < Duration::from_millis(20),
+            "lossy kv_get p50 {p50:?} — fast retransmit regressed \
+             (pre-fix medians sat at ~107ms)"
+        );
+        assert!(
+            cluster.driver().cluster_stats().fast_resends > 0,
+            "the lossy run must have exercised the fast-retransmit path"
+        );
+        cluster.shutdown().unwrap();
+    }
+
+    /// Regression: one stalled operation must not head-of-line-block the
+    /// rest of a batch.  A route whose origin host just crashed (failure
+    /// detector not yet converged) burns its retry ladder; pipelined
+    /// routes issued behind it must still complete at healthy latency.
+    #[test]
+    fn pipelined_routes_survive_one_stalled_operation() {
+        use crate::fault::{FaultyCluster, LinkFaults};
+        use voronet_core::RouteScratch;
+
+        let mut cluster = FaultyCluster::start(
+            3,
+            VoroNetConfig::new(512).with_seed(19),
+            LinkFaults::default(),
+            55,
+        );
+        cluster.driver().set_retry_policy(RetryPolicy::tight());
+        cluster.driver().set_liveness(Liveness::tight());
+        let points = PointGenerator::new(Distribution::Uniform, 41).take_points(48);
+        for &p in &points {
+            cluster.driver().insert(p).unwrap();
+        }
+
+        let crashed: PeerId = 2;
+        // An origin object hosted on the to-be-crashed host: its route
+        // request will go unanswered until the detector converges.
+        let stalled_from = (0..cluster.driver().population())
+            .find(|&i| {
+                let id = cluster.driver().net().id_at(i).unwrap().0;
+                host_of(id, 3) == crashed
+            })
+            .expect("host 2 serves at least one object");
+        // Healthy pairs whose entire greedy path (origin, every hop,
+        // owner) avoids the crashed host, so only the stalled op waits.
+        let mut scratch = RouteScratch::default();
+        let mut healthy: Vec<(usize, usize)> = Vec::new();
+        'outer: for from in 0..cluster.driver().population() {
+            for to in 0..cluster.driver().population() {
+                if from == to || healthy.len() >= 6 {
+                    if healthy.len() >= 6 {
+                        break 'outer;
+                    }
+                    continue;
+                }
+                let net = cluster.driver().net();
+                let a = net.id_at(from).unwrap();
+                let b = net.id_at(to).unwrap();
+                if net.route_between_in(a, b, &mut scratch).is_err() {
+                    continue;
+                }
+                let avoids = scratch.path.iter().all(|id| host_of(id.0, 3) != crashed)
+                    && host_of(a.0, 3) != crashed
+                    && host_of(b.0, 3) != crashed;
+                if avoids {
+                    healthy.push((from, to));
+                }
+            }
+        }
+        assert!(
+            healthy.len() >= 4,
+            "need a few crash-avoiding routes, got {}",
+            healthy.len()
+        );
+
+        cluster.ctl().crash(crashed);
+        // No heartbeat loop here: the driver still believes the host is
+        // alive, so the stalled op burns real retry time in the batch.
+        let mut pairs = vec![(stalled_from, healthy[0].1)];
+        pairs.extend(healthy.iter().copied());
+        let t0 = Instant::now();
+        let results = cluster
+            .driver()
+            .route_indices_pipelined(&pairs, pairs.len())
+            .unwrap();
+        let batch_elapsed = t0.elapsed();
+
+        assert!(
+            results[0].owner_hops.is_none(),
+            "the route from the crashed host must not answer"
+        );
+        for (i, r) in results.iter().enumerate().skip(1) {
+            assert!(
+                r.owner_hops.is_some(),
+                "healthy pipelined route {i} failed: {r:?}"
+            );
+            assert!(
+                r.latency < Duration::from_millis(150),
+                "healthy route {i} took {:?} — head-of-line blocked by the \
+                 stalled op (serial issue would park it behind ~seconds of \
+                 retry ladder)",
+                r.latency
+            );
+        }
+        // The whole batch is bounded by the one stalled op, not by
+        // stalled-time × batch-size as the serial loop would be.
+        assert!(
+            batch_elapsed < RetryPolicy::tight().budget + Duration::from_secs(2),
+            "batch took {batch_elapsed:?}"
+        );
         cluster.shutdown().unwrap();
     }
 }

@@ -42,7 +42,7 @@ pub mod wire;
 
 pub use cluster::{
     host_of, ClusterError, ClusterStats, Driver, HostNode, HostReport, HostState, Liveness,
-    LocalCluster, OpOutcome, RetryPolicy, DRIVER_PEER,
+    LocalCluster, OpOutcome, PipelinedRoute, RetryPolicy, DRIVER_PEER,
 };
 pub use fault::{
     FaultCtl, FaultEvent, FaultPlan, FaultStats, FaultTransport, FaultyCluster, LinkFaults,

@@ -59,6 +59,33 @@ impl<A: ShrinkInput, B: Clone> ShrinkInput for (A, B) {
     }
 }
 
+/// Triples shrink their first component like pairs do (a seed or a work
+/// list plus two fixed parameters).
+impl<A: ShrinkInput, B: Clone, C: Clone> ShrinkInput for (A, B, C) {
+    fn candidates(&self) -> Vec<Self> {
+        self.0
+            .candidates()
+            .into_iter()
+            .map(|a| (a, self.1.clone(), self.2.clone()))
+            .collect()
+    }
+}
+
+/// Scalars are atomic: a seed or a size parameter has no meaningful
+/// reduced form — "shrinking" it would swap in an unrelated case rather
+/// than minimise the witness — so properties over them report the
+/// failing value as-is.
+macro_rules! atomic_shrink_input {
+    ($($t:ty),* $(,)?) => {
+        $(impl ShrinkInput for $t {
+            fn candidates(&self) -> Vec<Self> {
+                Vec::new()
+            }
+        })*
+    };
+}
+atomic_shrink_input!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
 fn shrink<T: ShrinkInput>(
     input: T,
     message: String,

@@ -73,13 +73,80 @@ impl Distribution {
     }
 }
 
+/// Inverse-CDF sampler of a Zipf law over ranks `0..n`: rank `r` is
+/// drawn with probability proportional to `1 / (r + 1)^alpha`.
+///
+/// The cumulative distribution is computed and normalised **once**, so
+/// each draw costs one uniform variate plus a binary search — O(log n)
+/// instead of re-walking the partial harmonic sum per sample.  That
+/// matters for the flash-crowd and hotspot scenarios, which draw
+/// destination ranks millions of times against a stable population.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    alpha: f64,
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n.max(1)` ranks with exponent `alpha`
+    /// (`alpha = 0` degenerates to uniform).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n >= 1");
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { alpha, cdf }
+    }
+
+    /// Number of ranks (always at least 1).
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never true — the sampler always covers at least one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent the CDF was built for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Maps one uniform variate `u ∈ [0, 1)` to its rank: the smallest
+    /// `r` whose cumulative mass reaches `u`.
+    pub fn rank_of(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Analytic probability mass of rank `r` (the CDF difference) — what
+    /// the statistical tests compare empirical frequencies against.
+    pub fn probability(&self, r: usize) -> f64 {
+        if r >= self.cdf.len() {
+            return 0.0;
+        }
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
 /// Streaming point generator for a [`Distribution`], deterministic for a
 /// given seed.
 #[derive(Debug)]
 pub struct PointGenerator {
     dist: Distribution,
     rng: StdRng,
-    zipf_cdf: Vec<f64>,
+    zipf: Option<ZipfSampler>,
     cluster_centers: Vec<Point2>,
     domain: Rect,
 }
@@ -93,21 +160,9 @@ impl PointGenerator {
     /// Creates a generator over an arbitrary rectangular domain.
     pub fn with_domain(dist: Distribution, seed: u64, domain: Rect) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let zipf_cdf = match dist {
-            Distribution::PowerLaw { alpha } => {
-                let mut cdf = Vec::with_capacity(ZIPF_VALUES);
-                let mut acc = 0.0;
-                for i in 1..=ZIPF_VALUES {
-                    acc += 1.0 / (i as f64).powf(alpha);
-                    cdf.push(acc);
-                }
-                let total = *cdf.last().expect("ZIPF_VALUES > 0");
-                for c in &mut cdf {
-                    *c /= total;
-                }
-                cdf
-            }
-            _ => Vec::new(),
+        let zipf = match dist {
+            Distribution::PowerLaw { alpha } => Some(ZipfSampler::new(ZIPF_VALUES, alpha)),
+            _ => None,
         };
         let cluster_centers = match dist {
             Distribution::Clusters { clusters, .. } => (0..clusters.max(1))
@@ -118,7 +173,7 @@ impl PointGenerator {
         PointGenerator {
             dist,
             rng,
-            zipf_cdf,
+            zipf,
             cluster_centers,
             domain,
         }
@@ -131,11 +186,11 @@ impl PointGenerator {
 
     fn zipf_coordinate(&mut self) -> f64 {
         let u: f64 = self.rng.random();
-        // Binary search the normalised CDF.
         let idx = self
-            .zipf_cdf
-            .partition_point(|&c| c < u)
-            .min(ZIPF_VALUES - 1);
+            .zipf
+            .as_ref()
+            .expect("power-law generators carry a sampler")
+            .rank_of(u);
         let jitter: f64 = self.rng.random();
         (idx as f64 + jitter) / ZIPF_VALUES as f64
     }
@@ -290,6 +345,79 @@ mod tests {
         }
         let q = g.uniform_point();
         assert!(domain.contains(q));
+    }
+
+    #[test]
+    fn zipf_sampler_binary_search_matches_the_linear_walk() {
+        // The binary search must agree with the specification — the
+        // linear inverse-CDF walk over the unnormalised partial sums —
+        // on every variate.
+        let (n, alpha) = (257, 1.1);
+        let s = ZipfSampler::new(n, alpha);
+        let linear = |u: f64| {
+            let h: f64 = (1..=n).map(|r| (r as f64).powf(-alpha)).sum();
+            let mut u = u * h;
+            for r in 0..n {
+                u -= ((r + 1) as f64).powf(-alpha);
+                if u <= 0.0 {
+                    return r;
+                }
+            }
+            n - 1
+        };
+        let mut rng = StdRng::seed_from_u64(0x21F);
+        for _ in 0..5_000 {
+            let u: f64 = rng.random();
+            assert_eq!(s.rank_of(u), linear(u), "u = {u}");
+        }
+        assert_eq!(s.rank_of(0.0), 0);
+        assert_eq!(s.rank_of(1.0), n - 1);
+    }
+
+    #[test]
+    fn zipf_sampler_empirical_frequencies_match_the_exponent() {
+        let (n, alpha) = (1_000, 1.2);
+        let s = ZipfSampler::new(n, alpha);
+        let samples = 200_000usize;
+        let mut counts = vec![0u32; n];
+        let mut rng = StdRng::seed_from_u64(0x5A3F);
+        for _ in 0..samples {
+            counts[s.rank_of(rng.random())] += 1;
+        }
+        // Head ranks carry enough mass for a tight check: empirical
+        // frequency within 10% of the analytic probability.
+        for (r, &count) in counts.iter().enumerate().take(8) {
+            let expected = s.probability(r) * samples as f64;
+            assert!(expected > 1_000.0, "head rank {r} too light to test");
+            let got = count as f64;
+            assert!(
+                (got - expected).abs() / expected < 0.10,
+                "rank {r}: got {got}, expected {expected:.0}"
+            );
+        }
+        // The log-log slope over the well-sampled head must recover the
+        // target exponent: ln(count_r) ≈ C - alpha * ln(r + 1).
+        let pts: Vec<(f64, f64)> = counts
+            .iter()
+            .enumerate()
+            .take(64)
+            .filter(|&(_, &c)| c >= 50)
+            .map(|(r, &c)| (((r + 1) as f64).ln(), (c as f64).ln()))
+            .collect();
+        assert!(pts.len() >= 16, "need a sampled head, got {}", pts.len());
+        let m = pts.len() as f64;
+        let (sx, sy) = pts
+            .iter()
+            .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+        let (sxx, sxy) = pts
+            .iter()
+            .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
+        let slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+        assert!(
+            (slope + alpha).abs() < 0.1,
+            "fitted exponent {:.3}, target {alpha}",
+            -slope
+        );
     }
 
     #[test]

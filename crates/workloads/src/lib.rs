@@ -14,7 +14,9 @@
 pub mod distribution;
 pub mod ops;
 pub mod queries;
+pub mod scenario;
 
-pub use distribution::{Distribution, PointGenerator, ZIPF_VALUES};
+pub use distribution::{Distribution, PointGenerator, ZipfSampler, ZIPF_VALUES};
 pub use ops::{OpBatchGenerator, OpMix, WorkloadOp};
 pub use queries::{QueryGenerator, RadiusQuery, RangeQuery};
+pub use scenario::{Scenario, ScenarioKind, ScenarioPhase, ScenarioSpec};

@@ -8,7 +8,7 @@
 //! that drive the paper experiments.  The API layer resolves the indices
 //! against a concrete engine at submission time.
 
-use crate::distribution::{Distribution, PointGenerator};
+use crate::distribution::{Distribution, PointGenerator, ZipfSampler};
 use crate::queries::{QueryGenerator, RadiusQuery, RangeQuery};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -306,6 +306,12 @@ pub struct OpBatchGenerator {
     /// Lazily built topic palette (shared by subscribes and publishes so
     /// hot publishes actually hit subscribed regions).
     topic_palette: Vec<Rect>,
+    /// Cached destination-rank sampler, rebuilt only when the scripted
+    /// population or exponent changes (separate from the topic slot so
+    /// alternating draws don't thrash either cache).
+    zipf_dest: Option<ZipfSampler>,
+    /// Cached topic-rank sampler over the fixed palette.
+    zipf_topic: Option<ZipfSampler>,
 }
 
 impl OpBatchGenerator {
@@ -325,6 +331,8 @@ impl OpBatchGenerator {
             zipf_alpha: None,
             topics: None,
             topic_palette: Vec::new(),
+            zipf_dest: None,
+            zipf_topic: None,
         }
     }
 
@@ -461,7 +469,7 @@ impl OpBatchGenerator {
             }
             Some(alpha) => {
                 let from = self.rng.random_range(0..pop);
-                let mut to = self.zipf_rank(pop, alpha);
+                let mut to = Self::zipf_rank(&mut self.rng, &mut self.zipf_dest, pop, alpha);
                 if to == from {
                     to = (to + 1) % pop;
                 }
@@ -483,25 +491,36 @@ impl OpBatchGenerator {
                         .map(|_| self.queries.range_query(self.max_query_extent).rect)
                         .collect();
                 }
-                let rank = self.zipf_rank(self.topic_palette.len(), alpha);
+                let rank = Self::zipf_rank(
+                    &mut self.rng,
+                    &mut self.zipf_topic,
+                    self.topic_palette.len(),
+                    alpha,
+                );
                 self.topic_palette[rank]
             }
         }
     }
 
-    /// Draws a population rank with probability proportional to
-    /// `1 / (rank + 1)^alpha` (inverse-CDF walk over the partial harmonic
-    /// sum; O(pop), fine at workload-generation scale).
-    fn zipf_rank(&mut self, pop: usize, alpha: f64) -> usize {
-        let h: f64 = (1..=pop).map(|r| (r as f64).powf(-alpha)).sum();
-        let mut u = self.rng.random::<f64>() * h;
-        for r in 0..pop {
-            u -= ((r + 1) as f64).powf(-alpha);
-            if u <= 0.0 {
-                return r;
-            }
+    /// Draws a rank with probability proportional to `1 / (rank + 1)^alpha`
+    /// through the cached [`ZipfSampler`] in `slot`: one uniform variate
+    /// plus a binary search per draw, with the CDF rebuilt only when the
+    /// population or exponent actually changes.
+    fn zipf_rank(
+        rng: &mut StdRng,
+        slot: &mut Option<ZipfSampler>,
+        pop: usize,
+        alpha: f64,
+    ) -> usize {
+        let pop = pop.max(1);
+        if !slot
+            .as_ref()
+            .is_some_and(|s| s.len() == pop && s.alpha() == alpha)
+        {
+            *slot = Some(ZipfSampler::new(pop, alpha));
         }
-        pop - 1
+        let u: f64 = rng.random();
+        slot.as_ref().expect("just built").rank_of(u)
     }
 }
 

@@ -1,0 +1,192 @@
+//! Properties of the heavy-traffic scenario suite (`voronet_workloads::scenario`).
+//!
+//! The scenario generators script production-shaped pathologies as plain
+//! op streams; these tests replay them against the live overlay and pin
+//! the behaviour the bench suite relies on:
+//!
+//! - a flash crowd into one Voronoi cell drives the population past the
+//!   provisioned `N_max` and triggers exactly the adaptation rounds the
+//!   [`AdaptationPolicy`] predicts, with overlay invariants intact after
+//!   the burst;
+//! - every scripted route still terminates at its target, and greedy
+//!   point location agrees with the O(n²) nearest-scan oracle even while
+//!   the crowd is packing one cell.
+
+use rand::RngExt;
+use voronet_core::dynamic::{adapt_nmax, needs_adaptation, AdaptationPolicy};
+use voronet_core::{RouteScratch, VoroNet, VoroNetConfig};
+use voronet_geom::Point2;
+use voronet_testkit::{check_cases, tk_ensure, tk_ensure_eq};
+use voronet_workloads::{Scenario, ScenarioKind, ScenarioSpec, WorkloadOp};
+
+/// O(n) nearest-object scan — the oracle the greedy walk must agree
+/// with (scanning per query makes the whole check the O(n²) oracle).
+fn brute_force_owner(net: &VoroNet, target: Point2) -> Option<u64> {
+    net.ids()
+        .map(|id| (net.coords(id).expect("live").distance2(target), id.0))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+        .map(|(_, id)| id)
+}
+
+/// A flash crowd packed into one cell must (a) trigger exactly the
+/// adaptation rounds the policy predicts as the population crosses
+/// `N_max`, (b) keep every scripted route exact, and (c) keep greedy
+/// point location in agreement with the brute-force oracle inside and
+/// around the crowded cell.
+#[test]
+fn flash_crowd_triggers_adaptation_and_keeps_routes_exact() {
+    check_cases(
+        "flash-crowd-triggers-adaptation",
+        24,
+        0xF1A5,
+        |rng| {
+            let seed = rng.random::<u64>();
+            let population = rng.random_range(24..64usize);
+            let ops = rng.random_range(48..96usize);
+            (seed, population, ops)
+        },
+        |&(seed, population, ops)| {
+            let scenario = Scenario::build(&ScenarioSpec::new(
+                ScenarioKind::FlashCrowd,
+                seed,
+                population,
+                ops,
+            ));
+            let hot = scenario.hot_region.expect("flash crowd has a hot cell");
+
+            // Provision for the warm-up exactly: the crowd's arrivals are
+            // what pushes the population past N_max.
+            let nmax0 = scenario.setup.len();
+            let policy = AdaptationPolicy::default();
+            let mut net = VoroNet::new(VoroNetConfig::new(nmax0).with_seed(seed));
+            for &p in &scenario.setup {
+                if net.insert(p).is_err() {
+                    return Err("warm-up insert rejected".into());
+                }
+            }
+
+            let mut scratch = RouteScratch::default();
+            let mut adaptations = 0usize;
+            let mut crowd = 0usize;
+            for (i, op) in scenario.phases[0].ops.iter().enumerate() {
+                match *op {
+                    WorkloadOp::Insert { position } => {
+                        tk_ensure!(hot.contains(position), "arrival outside the cell");
+                        tk_ensure!(
+                            net.insert(position).is_ok(),
+                            "crowd insert {i} rejected at {position}"
+                        );
+                        crowd += 1;
+                        if needs_adaptation(&net, &policy) {
+                            let report = adapt_nmax(&mut net, &policy)
+                                .map_err(|e| format!("adaptation failed: {e}"))?
+                                .ok_or("needs_adaptation promised a round")?;
+                            tk_ensure!(
+                                report.new_nmax > report.old_nmax,
+                                "adaptation must grow N_max"
+                            );
+                            adaptations += 1;
+                        }
+                    }
+                    WorkloadOp::Route { from, to } => {
+                        let a = net.id_at(from).ok_or("scripted from out of range")?;
+                        let b = net.id_at(to).ok_or("scripted to out of range")?;
+                        let (owner, hops) = net
+                            .route_between_in(a, b, &mut scratch)
+                            .map_err(|e| format!("route {from}->{to} failed: {e}"))?;
+                        tk_ensure_eq!(owner, b, "route must terminate at its target");
+                        tk_ensure!(
+                            (hops as usize) < net.len(),
+                            "greedy route revisited objects"
+                        );
+                        // Every few routes, cross-check point location
+                        // against the O(n) scan — inside the crowded cell,
+                        // where the geometry is at its densest.
+                        if i % 5 == 0 {
+                            let target = Point2::new(
+                                hot.min.x + (i as f64 * 0.137).fract() * hot.width(),
+                                hot.min.y + (i as f64 * 0.311).fract() * hot.height(),
+                            );
+                            let (owner, _) = net
+                                .route_to_point_in(a, target, &mut scratch)
+                                .map_err(|e| format!("point route failed: {e}"))?;
+                            tk_ensure_eq!(
+                                Some(owner.0),
+                                brute_force_owner(&net, target),
+                                "greedy owner disagrees with the brute-force scan"
+                            );
+                        }
+                    }
+                    ref other => return Err(format!("unexpected op {other:?}")),
+                }
+            }
+
+            // The crowd grew the population from nmax0 to nmax0 + crowd,
+            // so the 1.0-threshold policy must have fired exactly once
+            // (growth ×4 reprovisions far past the final population).
+            tk_ensure!(crowd > 0, "no arrivals scripted");
+            tk_ensure_eq!(adaptations, 1, "crowd of {crowd} over N_max {nmax0}");
+            tk_ensure!(
+                net.config().nmax >= net.len(),
+                "adaptation must keep the overlay provisioned: N_max {} for {} objects",
+                net.config().nmax,
+                net.len()
+            );
+            net.check_invariants(true)
+                .map_err(|e| format!("invariants broken after the crowd: {e}"))?;
+            Ok(())
+        },
+    );
+}
+
+/// Mass churn replayed on the live overlay: every scripted removal hits
+/// a live object, the region empties and refills, and routing stays
+/// exact through both transitions.
+#[test]
+fn mass_churn_replay_keeps_the_overlay_consistent() {
+    check_cases(
+        "mass-churn-replay-consistent",
+        16,
+        0x3C44,
+        |rng| (rng.random::<u64>(), rng.random_range(32..80usize)),
+        |&(seed, population)| {
+            let scenario = Scenario::build(&ScenarioSpec::new(
+                ScenarioKind::MassChurn,
+                seed,
+                population,
+                96,
+            ));
+            let mut net = VoroNet::new(VoroNetConfig::new(population * 2).with_seed(seed));
+            for &p in &scenario.setup {
+                if net.insert(p).is_err() {
+                    return Err("warm-up insert rejected".into());
+                }
+            }
+            let mut scratch = RouteScratch::default();
+            for op in scenario.phases.iter().flat_map(|p| &p.ops) {
+                match *op {
+                    WorkloadOp::Insert { position } => {
+                        tk_ensure!(net.insert(position).is_ok(), "rejoin insert rejected");
+                    }
+                    WorkloadOp::Remove { index } => {
+                        let id = net.id_at(index).ok_or("scripted remove out of range")?;
+                        tk_ensure!(net.remove(id).is_ok(), "scripted removal failed");
+                    }
+                    WorkloadOp::Route { from, to } => {
+                        let a = net.id_at(from).ok_or("from out of range")?;
+                        let b = net.id_at(to).ok_or("to out of range")?;
+                        let (owner, _) = net
+                            .route_between_in(a, b, &mut scratch)
+                            .map_err(|e| format!("route failed mid-churn: {e}"))?;
+                        tk_ensure_eq!(owner, b, "route must terminate at its target");
+                    }
+                    ref other => return Err(format!("unexpected op {other:?}")),
+                }
+            }
+            tk_ensure_eq!(net.len(), scenario.setup.len(), "exodus must fully rejoin");
+            net.check_invariants(true)
+                .map_err(|e| format!("invariants broken after churn: {e}"))?;
+            Ok(())
+        },
+    );
+}
